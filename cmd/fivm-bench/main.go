@@ -1,0 +1,207 @@
+// Command fivm-bench regenerates every evaluation artifact of the paper
+// (DESIGN.md §3): Figure 1's worked example (e1), the §1 throughput
+// claims (e2), the application tabs (e3–e6), the batch/aggregate sweeps
+// (e7), and the ablations (a1, a3).
+//
+// Usage:
+//
+//	fivm-bench -exp e2 -scale demo
+//	fivm-bench -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all")
+	scale := flag.String("scale", "small", "workload scale: small|demo")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale()
+	case "demo":
+		sc = experiments.DemoScale()
+	default:
+		log.Fatalf("unknown scale %q (small|demo)", *scale)
+	}
+
+	run := map[string]func(experiments.Scale) error{
+		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4,
+		"e5": runE5, "e6": runE6, "e7": runE7, "e8": runE8,
+		"a1": runA1, "a2": runA2, "a3": runA3, "a4": runA4,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "a1", "a2", "a3", "a4"}
+	}
+	for _, id := range ids {
+		fn, ok := run[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q", id)
+		}
+		fmt.Printf("================ %s ================\n", strings.ToUpper(id))
+		if err := fn(sc); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+}
+
+// runE1 replays Figure 1 by delegating to the quickstart example, which
+// prints the toy database's payloads under all four rings.
+func runE1(experiments.Scale) error {
+	fmt.Println("Figure 1 worked example (see also examples/quickstart and")
+	fmt.Println("go test ./internal/view -run TestFigure1):")
+	cmd := exec.Command("go", "run", "./examples/quickstart")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		// Fall back to a pointer when the source tree is unavailable
+		// (e.g. installed binary).
+		fmt.Println("  (run examples/quickstart from the repository root for the full output)")
+	}
+	return nil
+}
+
+func runE2(sc experiments.Scale) error {
+	fmt.Println("E2 — §1 claim: F-IVM vs DBToaster-style IVM vs re-evaluation")
+	fmt.Printf("Retailer 5-way join, %d fact rows, %d updates (20%% deletes), batch %d, one goroutine\n\n",
+		sc.InventoryRows, sc.StreamLen, sc.BatchSize)
+	rows, err := experiments.E2(sc, 0.2)
+	if err != nil {
+		return err
+	}
+	experiments.PrintThroughput(os.Stdout, rows)
+	fmt.Println()
+	r, nAggs, err := experiments.E2Compound(sc, 0.2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compound mixed-feature payload (%d one-hot scalar aggregates):\n", nAggs)
+	experiments.PrintThroughput(os.Stdout, []experiments.Throughput{r})
+	return nil
+}
+
+func runE3(sc experiments.Scale) error {
+	fmt.Println("E3 — Figure 2a: model selection under update bulks (threshold 0.2)")
+	rows, err := experiments.E3ModelSelection(sc, 0.2)
+	if err != nil {
+		return err
+	}
+	experiments.PrintAppResults(os.Stdout, rows)
+	return nil
+}
+
+func runE4(sc experiments.Scale) error {
+	fmt.Println("E4 — Figure 2b: ridge regression re-convergence per bulk")
+	rows, err := experiments.E4Regression(sc)
+	if err != nil {
+		return err
+	}
+	experiments.PrintAppResults(os.Stdout, rows)
+	return nil
+}
+
+func runE5(sc experiments.Scale) error {
+	fmt.Println("E5 — Figure 2c: MI matrix + Chow-Liu tree per bulk (root ksn)")
+	rows, err := experiments.E5ChowLiu(sc)
+	if err != nil {
+		return err
+	}
+	experiments.PrintAppResults(os.Stdout, rows)
+	return nil
+}
+
+func runE6(sc experiments.Scale) error {
+	fmt.Println("E6 — Figure 2d: view tree and M3 code for the Retailer query")
+	m3, err := experiments.E6Maintenance(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m3)
+	return nil
+}
+
+func runE7(sc experiments.Scale) error {
+	fmt.Println("E7a — batch-size sweep (COVAR m=5, 20% deletes)")
+	rows, err := experiments.E7BatchSize(sc, []int{1, 10, 100, 1000, 10000})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		experiments.PrintThroughput(os.Stdout, []experiments.Throughput{r.Throughput})
+	}
+	fmt.Println("\nE7b — aggregate-count sweep (degree m of the COVAR ring)")
+	rows, err = experiments.E7AggCount(sc, []int{2, 5, 10, 15, 19})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		experiments.PrintThroughput(os.Stdout, []experiments.Throughput{r.Throughput})
+	}
+	return nil
+}
+
+func runE8(sc experiments.Scale) error {
+	fmt.Println("E8 — the second demo database: Favorita (6-way join)")
+	rows, apps, err := experiments.E8Favorita(sc)
+	if err != nil {
+		return err
+	}
+	experiments.PrintThroughput(os.Stdout, rows)
+	fmt.Println()
+	experiments.PrintAppResults(os.Stdout, apps)
+	return nil
+}
+
+func runA1(sc experiments.Scale) error {
+	fmt.Println("A1 — ablation: ring sharing (compound payload vs independent aggregate trees)")
+	rows, err := experiments.A1Sharing(sc, 5)
+	if err != nil {
+		return err
+	}
+	experiments.PrintThroughput(os.Stdout, rows)
+	return nil
+}
+
+func runA2(sc experiments.Scale) error {
+	fmt.Println("A2 — ablation: maintaining gradients vs maintaining the join itself")
+	rows, err := experiments.A2Factorization(sc)
+	if err != nil {
+		return err
+	}
+	experiments.PrintThroughput(os.Stdout, rows)
+	return nil
+}
+
+func runA4(sc experiments.Scale) error {
+	fmt.Println("A4 — ablation: full-degree vs ranged view payloads (Figure 2d's RingCofactor<d,idx,cnt>)")
+	rows, err := experiments.A4RangedPayloads(sc, 20)
+	if err != nil {
+		return err
+	}
+	experiments.PrintThroughput(os.Stdout, rows)
+	return nil
+}
+
+func runA3(sc experiments.Scale) error {
+	fmt.Println("A3 — ablation: delete-ratio sweep (deletes cost the same as inserts)")
+	rows, err := experiments.A3Deletes(sc, []float64{0, 0.25, 0.5})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		experiments.PrintThroughput(os.Stdout, []experiments.Throughput{r.Throughput})
+	}
+	return nil
+}

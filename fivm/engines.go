@@ -1,0 +1,156 @@
+package fivm
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/view"
+	"repro/internal/vo"
+)
+
+// CountEngine maintains a COUNT (SUM(1)) query over a natural join,
+// optionally grouped, using the Z ring. It is the simplest F-IVM
+// instantiation: payloads are tuple multiplicities.
+type CountEngine struct {
+	Tree  *view.Tree[int64]
+	Query *query.Query
+}
+
+// NewCountEngine compiles a parsed SUM(1) query (with optional GROUP BY)
+// into a Z-ring view tree.
+func NewCountEngine(q *query.Query) (*CountEngine, error) {
+	if len(q.Aggregates) != 1 {
+		return nil, fmt.Errorf("fivm: count engine needs exactly one aggregate, got %d", len(q.Aggregates))
+	}
+	agg := q.Aggregates[0]
+	if len(agg.Factors) != 1 || !agg.Factors[0].IsConst || agg.Factors[0].Const != 1 {
+		return nil, fmt.Errorf("fivm: count engine needs SUM(1), got %v", agg)
+	}
+	tree, err := view.New(view.Spec[int64]{
+		Ring:      ring.Ints{},
+		Relations: q.VORels(),
+		Free:      q.GroupBy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CountEngine{Tree: tree, Query: q}, nil
+}
+
+// FloatEngine maintains one SUM aggregate of a product of per-attribute
+// functions over a natural join using the float ring, e.g.
+// SUM(B * sq(C)) or SUM(B * D) GROUP BY A.
+type FloatEngine struct {
+	Tree  *view.Tree[float64]
+	Query *query.Query
+}
+
+// floatFuncs is the registry of factor functions for the float ring.
+var floatFuncs = map[string]func(value.Value) float64{
+	"":   ring.IdentityLift,
+	"id": ring.IdentityLift,
+	"sq": ring.SquareLift,
+}
+
+// NewFloatEngine compiles a parsed single-aggregate query into a
+// float-ring view tree. Each attribute may appear in at most one factor
+// (write SUM(sq(B)) rather than SUM(B * B)); constant factors scale the
+// aggregate.
+func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
+	if len(q.Aggregates) != 1 {
+		return nil, fmt.Errorf("fivm: float engine needs exactly one aggregate, got %d", len(q.Aggregates))
+	}
+	agg := q.Aggregates[0]
+	lifts := map[string]ring.Lift[float64]{}
+	scale := 1.0
+	for _, f := range agg.Factors {
+		if f.IsConst {
+			scale *= f.Const
+			continue
+		}
+		fn, ok := floatFuncs[f.Func]
+		if !ok {
+			return nil, fmt.Errorf("fivm: unknown factor function %q (have id, sq)", f.Func)
+		}
+		if _, dup := lifts[f.Attr]; dup {
+			return nil, fmt.Errorf("fivm: attribute %s appears in two factors; compose functions instead", f.Attr)
+		}
+		lifts[f.Attr] = fn
+	}
+	if scale != 1 {
+		// Fold the constant into one of the lifts (or the result when
+		// there are none) by wrapping the first lift.
+		if len(agg.Factors) > 0 {
+			for a, fn := range lifts {
+				inner := fn
+				lifts[a] = func(v value.Value) float64 { return scale * inner(v) }
+				_ = a
+				break
+			}
+		}
+	}
+	tree, err := view.New(view.Spec[float64]{
+		Ring:      ring.Floats{},
+		Relations: q.VORels(),
+		Lifts:     lifts,
+		Free:      q.GroupBy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scale != 1 && len(lifts) == 0 {
+		return nil, fmt.Errorf("fivm: pure-constant aggregate SUM(%v): use SUM(1) with the count engine and scale externally", scale)
+	}
+	return &FloatEngine{Tree: tree, Query: q}, nil
+}
+
+// CovarEngine maintains the scalar degree-m COVAR matrix over
+// all-continuous attributes — the cheaper sibling of Analysis for
+// workloads without categorical features.
+type CovarEngine struct {
+	Tree  *view.Tree[*ring.Covar]
+	Ring  ring.CovarRing
+	Attrs []string
+}
+
+// NewCovarEngine builds a scalar COVAR engine over the given continuous
+// attributes of the joined relations.
+func NewCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) (*CovarEngine, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("fivm: no aggregate attributes")
+	}
+	vrels := make([]vo.Rel, len(rels))
+	schema := value.NewSchema()
+	for i, r := range rels {
+		vrels[i] = vo.Rel{Name: r.Name, Schema: value.NewSchema(r.Attrs...)}
+		schema = schema.Union(vrels[i].Schema)
+	}
+	rg := ring.NewCovarRing(len(attrs))
+	lifts := map[string]ring.Lift[*ring.Covar]{}
+	for i, a := range attrs {
+		if !schema.Has(a) {
+			return nil, fmt.Errorf("fivm: aggregate attribute %s not in any relation", a)
+		}
+		if _, dup := lifts[a]; dup {
+			return nil, fmt.Errorf("fivm: attribute %s listed twice", a)
+		}
+		lifts[a] = rg.Lift(i)
+	}
+	tree, err := view.New(view.Spec[*ring.Covar]{
+		Ring:      rg,
+		Order:     order,
+		Relations: vrels,
+		Lifts:     lifts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]string, len(attrs))
+	copy(cp, attrs)
+	return &CovarEngine{Tree: tree, Ring: rg, Attrs: cp}, nil
+}
+
+// Payload returns the maintained scalar COVAR compound aggregate.
+func (e *CovarEngine) Payload() *ring.Covar { return e.Tree.ResultPayload() }

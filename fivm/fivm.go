@@ -1,0 +1,239 @@
+// Package fivm is the public API of the F-IVM reproduction: real-time
+// analytics over fast-evolving relational data. It wires together the
+// internal substrates — ring library, variable orders, view trees — into
+// the workflows the paper demonstrates:
+//
+//   - Analysis: maintain the generalized COVAR matrix (continuous +
+//     categorical attributes) or mutual-information count tables over a
+//     natural join under inserts and deletes, and derive ridge linear
+//     regression, model selection, and Chow-Liu trees from the payload.
+//   - Count / Float engines: maintain classic SUM aggregates parsed from
+//     a small SQL subset.
+//
+// A minimal session:
+//
+//	an, _ := fivm.NewAnalysis(fivm.AnalysisConfig{
+//	    Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}, ...},
+//	    Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}},
+//	})
+//	an.Init(initialTuples)
+//	an.Apply(updates)          // inserts and deletes
+//	sigma, _ := an.Covar()     // feeds ml.RidgeModel
+package fivm
+
+import (
+	"fmt"
+
+	"repro/internal/m3"
+	"repro/internal/ml"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/view"
+	"repro/internal/vo"
+)
+
+// RelationSpec declares one input relation of the join.
+type RelationSpec struct {
+	Name  string
+	Attrs []string
+}
+
+// FeatureSpec declares one attribute participating in the compound
+// aggregate. Exactly one interpretation applies:
+//
+//   - Categorical false, BinWidth 0: continuous — scalar SUM aggregates.
+//   - Categorical true: one-hot encoded via the relational ring.
+//   - BinWidth > 0: continuous values discretized into equi-width bins
+//     and treated as categorical (used for MI over continuous data).
+type FeatureSpec struct {
+	Attr        string
+	Categorical bool
+	BinWidth    float64
+}
+
+// AnalysisConfig configures an Analysis engine.
+type AnalysisConfig struct {
+	Relations []RelationSpec
+	Features  []FeatureSpec
+	// Order optionally supplies a hand-built variable order; when nil
+	// one is derived with the greedy heuristic.
+	Order *vo.Order
+}
+
+// Analysis maintains the generalized degree-m COVAR payload over the
+// natural join of the configured relations. It is not safe for
+// concurrent use.
+type Analysis struct {
+	tree  *view.Tree[*ring.RelCovar]
+	ring  ring.RelCovarRing
+	feats []ml.Feature
+	specs []FeatureSpec
+}
+
+// NewAnalysis builds the engine: degree-m ring (m = len(Features)),
+// per-feature lifts, variable order, and empty view tree.
+func NewAnalysis(cfg AnalysisConfig) (*Analysis, error) {
+	if len(cfg.Features) == 0 {
+		return nil, fmt.Errorf("fivm: no features configured")
+	}
+	if len(cfg.Relations) == 0 {
+		return nil, fmt.Errorf("fivm: no relations configured")
+	}
+	rels := make([]vo.Rel, len(cfg.Relations))
+	attrs := value.NewSchema()
+	for i, r := range cfg.Relations {
+		rels[i] = vo.Rel{Name: r.Name, Schema: value.NewSchema(r.Attrs...)}
+		attrs = attrs.Union(rels[i].Schema)
+	}
+	m := len(cfg.Features)
+	rg := ring.NewRelCovarRing(m)
+	lifts := make(map[string]ring.Lift[*ring.RelCovar], m)
+	feats := make([]ml.Feature, m)
+	for i, f := range cfg.Features {
+		if !attrs.Has(f.Attr) {
+			return nil, fmt.Errorf("fivm: feature %s not in any relation", f.Attr)
+		}
+		if _, dup := lifts[f.Attr]; dup {
+			return nil, fmt.Errorf("fivm: feature %s listed twice", f.Attr)
+		}
+		switch {
+		case f.BinWidth > 0:
+			lifts[f.Attr] = rg.LiftBinned(i, f.BinWidth)
+			feats[i] = ml.Feature{Name: f.Attr, Categorical: true, Index: i}
+		case f.Categorical:
+			lifts[f.Attr] = rg.LiftCategorical(i)
+			feats[i] = ml.Feature{Name: f.Attr, Categorical: true, Index: i}
+		default:
+			lifts[f.Attr] = rg.LiftContinuous(i)
+			feats[i] = ml.Feature{Name: f.Attr, Categorical: false, Index: i}
+		}
+	}
+	tree, err := view.New(view.Spec[*ring.RelCovar]{
+		Ring:      rg,
+		Order:     cfg.Order,
+		Relations: rels,
+		Lifts:     lifts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{tree: tree, ring: rg, feats: feats, specs: cfg.Features}, nil
+}
+
+// Init bulk-loads the initial database and evaluates all views.
+func (a *Analysis) Init(data map[string][]value.Tuple) error { return a.tree.Init(data) }
+
+// Apply maintains the payload under a batch of tuple-level updates
+// (Mult > 0 inserts, < 0 deletes).
+func (a *Analysis) Apply(ups []view.Update) error { return a.tree.ApplyUpdates(ups) }
+
+// ApplyDelta maintains the payload under a prebuilt delta relation.
+func (a *Analysis) ApplyDelta(rel string, d *relation.Map[*ring.RelCovar]) error {
+	return a.tree.ApplyDelta(rel, d)
+}
+
+// Payload returns the maintained compound aggregate (nil when the join
+// is empty).
+func (a *Analysis) Payload() *ring.RelCovar { return a.tree.ResultPayload() }
+
+// Features returns the payload indexing metadata.
+func (a *Analysis) Features() []ml.Feature { return a.feats }
+
+// Covar converts the payload to a dense one-hot-expanded SigmaMatrix
+// for the regression solver.
+func (a *Analysis) Covar() (*ml.SigmaMatrix, error) {
+	return ml.SigmaFromRelCovar(a.Payload(), a.feats)
+}
+
+// MI computes the pairwise mutual-information matrix; every feature
+// must be categorical or binned.
+func (a *Analysis) MI() (*ml.MIMatrix, error) {
+	return ml.MIFromRelCovar(a.Payload(), a.feats)
+}
+
+// SelectFeatures ranks features by MI with the label and applies the
+// threshold — the Model Selection tab.
+func (a *Analysis) SelectFeatures(label string, threshold float64) ([]ml.RankedAttr, []string, error) {
+	mi, err := a.MI()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ml.SelectFeatures(mi, label, threshold)
+}
+
+// ChowLiu builds the Chow-Liu tree rooted at root — the Chow-Liu Tree
+// tab.
+func (a *Analysis) ChowLiu(root string) (*ml.ChowLiuTree, error) {
+	mi, err := a.MI()
+	if err != nil {
+		return nil, err
+	}
+	return ml.ChowLiu(mi, root)
+}
+
+// Ridge fits (or re-converges, when model is non-nil) a ridge linear
+// regression predicting label from the other features — the Regression
+// tab. It returns the model and the sigma matrix it was fit against.
+func (a *Analysis) Ridge(label string, model *ml.RidgeModel, cfg ml.RidgeConfig) (*ml.RidgeModel, *ml.SigmaMatrix, error) {
+	sigma, err := a.Covar()
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := sigma.ColumnsOf(label)
+	if len(cols) != 1 {
+		return nil, nil, fmt.Errorf("fivm: label %s must be a single continuous column (got %d columns)", label, len(cols))
+	}
+	if model == nil || len(model.Weights) != sigma.Dim() {
+		// Category set drifted (columns appeared/disappeared): restart.
+		// A production system would remap surviving columns; restarting
+		// preserves correctness and matches the demo behaviour.
+		model = ml.NewRidge(sigma, cols[0])
+	}
+	model.LabelCol = cols[0]
+	if err := model.Fit(sigma, cfg); err != nil {
+		return nil, nil, err
+	}
+	return model, sigma, nil
+}
+
+// ViewTree renders the maintained view tree — the Maintenance Strategy
+// tab's left pane.
+func (a *Analysis) ViewTree() string {
+	return m3.Render(a.tree, a.m3Info()).TreeDrawing
+}
+
+// M3 renders the per-view M3 code — the Maintenance Strategy tab's
+// right pane.
+func (a *Analysis) M3() string {
+	return m3.Render(a.tree, a.m3Info()).String()
+}
+
+func (a *Analysis) m3Info() m3.RingInfo {
+	idx := make(map[string]int, len(a.specs))
+	for i, f := range a.specs {
+		idx[f.Attr] = i
+	}
+	return m3.RingInfo{
+		Name: fmt.Sprintf("RingCofactor<double, %d>", len(a.specs)),
+		LiftIndexOf: func(v string) int {
+			if i, ok := idx[v]; ok {
+				return i
+			}
+			return -1
+		},
+	}
+}
+
+// Stats exposes maintenance counters.
+func (a *Analysis) Stats() view.Stats { return a.tree.Stats() }
+
+// Tree exposes the underlying view tree for advanced inspection.
+func (a *Analysis) Tree() *view.Tree[*ring.RelCovar] { return a.tree }
+
+// NewCatalog re-exports query catalog construction for the SQL surface.
+func NewCatalog() *query.Catalog { return query.NewCatalog() }
+
+// Parse re-exports the SQL-subset parser.
+func Parse(c *query.Catalog, src string) (*query.Query, error) { return query.Parse(c, src) }

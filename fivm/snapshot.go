@@ -1,0 +1,23 @@
+package fivm
+
+import (
+	"io"
+
+	"repro/internal/ring"
+)
+
+// WriteSnapshot persists the analysis' input relations (the views are
+// derived state and are recomputed on restore). The snapshot is
+// self-contained binary; pair it with an Analysis built from the same
+// AnalysisConfig.
+func (a *Analysis) WriteSnapshot(w io.Writer) error {
+	return a.tree.WriteSnapshot(w, ring.RelCovarCodec{Ring: a.ring})
+}
+
+// ReadSnapshot loads input relations from a snapshot written by
+// WriteSnapshot and re-evaluates every view. The receiving Analysis
+// must have the same relations, features, and variable order as the
+// writer.
+func (a *Analysis) ReadSnapshot(r io.Reader) error {
+	return a.tree.ReadSnapshot(r, ring.RelCovarCodec{Ring: a.ring})
+}

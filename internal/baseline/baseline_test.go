@@ -1,0 +1,129 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+func twoRelSpecs() []baseline.RelSpec {
+	return []baseline.RelSpec{
+		{Name: "R", Schema: value.NewSchema("A", "B")},
+		{Name: "S", Schema: value.NewSchema("A", "C")},
+	}
+}
+
+func TestFlatIVMConstructionErrors(t *testing.T) {
+	specs := twoRelSpecs()
+	if _, err := baseline.NewFlatIVM(append(specs, specs[0]), []string{"B"}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := baseline.NewFlatIVM(specs, []string{"Z"}); err == nil {
+		t.Error("unknown aggregate attribute accepted")
+	}
+}
+
+func TestFlatIVMSmallJoin(t *testing.T) {
+	flat, err := baseline.NewFlatIVM(twoRelSpecs(), []string{"B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = flat.Init(map[string][]value.Tuple{
+		"R": {value.T("a1", 1), value.T("a2", 2)},
+		"S": {value.T("a1", 10), value.T("a1", 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join: (a1,1,10), (a1,1,20).
+	if flat.Count() != 2 {
+		t.Errorf("count = %v", flat.Count())
+	}
+	if flat.Sum(0) != 2 || flat.Sum(1) != 30 {
+		t.Errorf("sums = %v, %v", flat.Sum(0), flat.Sum(1))
+	}
+	if flat.Prod(0, 1) != 30 || flat.Prod(1, 0) != 30 {
+		t.Errorf("SUM(B*C) = %v / %v", flat.Prod(0, 1), flat.Prod(1, 0))
+	}
+	if flat.JoinSize() != 2 {
+		t.Errorf("join size = %d", flat.JoinSize())
+	}
+	if got := flat.AggAttrs(); len(got) != 2 || got[0] != "B" {
+		t.Errorf("AggAttrs = %v", got)
+	}
+
+	// Unknown relation in an update batch.
+	if err := flat.Apply([]view.Update{{Rel: "Z", Tuple: value.T(1, 1), Mult: 1}}); err == nil {
+		t.Error("unknown relation accepted in Apply")
+	}
+	// A batch that nets to zero is a no-op.
+	err = flat.Apply([]view.Update{
+		{Rel: "R", Tuple: value.T("a9", 9), Mult: 1},
+		{Rel: "R", Tuple: value.T("a9", 9), Mult: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Count() != 2 {
+		t.Errorf("count after no-op batch = %v", flat.Count())
+	}
+}
+
+func TestReevalConstructionErrors(t *testing.T) {
+	specs := twoRelSpecs()
+	if _, err := baseline.NewReeval(append(specs, specs[0]), []string{"B"}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := baseline.NewReeval(specs, []string{"Z"}); err == nil {
+		t.Error("unknown aggregate attribute accepted")
+	}
+}
+
+func TestReevalSmallJoinAndErrors(t *testing.T) {
+	re, err := baseline.NewReeval(twoRelSpecs(), []string{"B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Init(map[string][]value.Tuple{"Z": nil}); err == nil {
+		t.Error("unknown relation in Init accepted")
+	}
+	err = re.Init(map[string][]value.Tuple{
+		"R": {value.T("a1", 1)},
+		"S": {value.T("a1", 10), value.T("a1", 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := re.Payload()
+	if p.Count() != 2 || p.Sum(1) != 30 {
+		t.Errorf("payload = %v", p)
+	}
+	if err := re.Apply([]view.Update{{Rel: "Z", Tuple: value.T(1, 1), Mult: 1}}); err == nil {
+		t.Error("unknown relation in Apply accepted")
+	}
+	// Deleting a tuple that was never inserted leaves a negative
+	// multiplicity, which recomputation must reject loudly rather than
+	// silently mis-counting.
+	if err := re.Apply([]view.Update{{Rel: "R", Tuple: value.T("ghost", 1), Mult: -1}}); err == nil {
+		t.Error("negative multiplicity accepted")
+	}
+}
+
+func TestReevalDuplicateTuples(t *testing.T) {
+	re, err := baseline.NewReeval(twoRelSpecs(), []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = re.Init(map[string][]value.Tuple{
+		"R": {value.T("a1", 1), value.T("a1", 1)}, // multiplicity 2
+		"S": {value.T("a1", 10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Payload().Count(); got != 2 {
+		t.Errorf("count with duplicate base tuple = %v, want 2", got)
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/view"
+	"repro/internal/vo"
+)
+
+// Reeval recomputes the COVAR compound aggregate from scratch after
+// every update batch: it keeps the base data as multisets and, on each
+// Apply, rebuilds a fresh factorized evaluation. Even with factorized
+// (view-tree) evaluation per batch, paying the full computation each
+// time loses to incremental maintenance once batches are small relative
+// to the database — the shape E2 demonstrates.
+type Reeval struct {
+	rels     []RelSpec
+	aggAttrs []string
+	ring     ring.CovarRing
+	lifts    map[string]ring.Lift[*ring.Covar]
+
+	// data holds the current multiset per relation: encoded tuple ->
+	// (tuple, multiplicity).
+	data map[string]map[string]weighted
+
+	payload *ring.Covar
+	dirty   bool
+}
+
+type weighted struct {
+	tuple value.Tuple
+	mult  int
+}
+
+// NewReeval builds the recomputation baseline over the given relations
+// and continuous aggregate attributes.
+func NewReeval(rels []RelSpec, aggAttrs []string) (*Reeval, error) {
+	r := &Reeval{
+		rels:     rels,
+		aggAttrs: aggAttrs,
+		ring:     ring.NewCovarRing(len(aggAttrs)),
+		lifts:    map[string]ring.Lift[*ring.Covar]{},
+		data:     map[string]map[string]weighted{},
+	}
+	full := value.NewSchema()
+	for _, rel := range rels {
+		if _, dup := r.data[rel.Name]; dup {
+			return nil, fmt.Errorf("baseline: duplicate relation %s", rel.Name)
+		}
+		r.data[rel.Name] = map[string]weighted{}
+		full = full.Union(rel.Schema)
+	}
+	for i, a := range aggAttrs {
+		if !full.Has(a) {
+			return nil, fmt.Errorf("baseline: aggregate attribute %s not in join schema", a)
+		}
+		r.lifts[a] = r.ring.Lift(i)
+	}
+	return r, nil
+}
+
+// Init loads the initial database and computes the first payload.
+func (r *Reeval) Init(data map[string][]value.Tuple) error {
+	for name := range data {
+		if _, ok := r.data[name]; !ok {
+			return fmt.Errorf("baseline: unknown relation %s", name)
+		}
+	}
+	for _, rel := range r.rels {
+		m := map[string]weighted{}
+		for _, t := range data[rel.Name] {
+			k := t.Encode()
+			w := m[k]
+			w.tuple = t
+			w.mult++
+			m[k] = w
+		}
+		r.data[rel.Name] = m
+	}
+	r.dirty = true
+	return r.recompute()
+}
+
+// Apply merges the updates into the base multisets and recomputes the
+// payload from scratch.
+func (r *Reeval) Apply(ups []view.Update) error {
+	for _, u := range ups {
+		m, ok := r.data[u.Rel]
+		if !ok {
+			return fmt.Errorf("baseline: unknown relation %s", u.Rel)
+		}
+		k := u.Tuple.Encode()
+		w := m[k]
+		w.tuple = u.Tuple
+		w.mult += u.Mult
+		if w.mult == 0 {
+			delete(m, k)
+		} else {
+			m[k] = w
+		}
+	}
+	r.dirty = true
+	return r.recompute()
+}
+
+// recompute rebuilds a fresh view tree over the current data and
+// evaluates it bottom-up.
+func (r *Reeval) recompute() error {
+	if !r.dirty {
+		return nil
+	}
+	vrels := make([]vo.Rel, len(r.rels))
+	for i, rel := range r.rels {
+		vrels[i] = vo.Rel{Name: rel.Name, Schema: rel.Schema}
+	}
+	tree, err := view.New(view.Spec[*ring.Covar]{
+		Ring:      r.ring,
+		Relations: vrels,
+		Lifts:     r.lifts,
+	})
+	if err != nil {
+		return err
+	}
+	full := map[string][]value.Tuple{}
+	for name, m := range r.data {
+		var ts []value.Tuple
+		for _, w := range m {
+			if w.mult < 0 {
+				return fmt.Errorf("baseline: relation %s holds tuple %v with negative multiplicity %d", name, w.tuple, w.mult)
+			}
+			for i := 0; i < w.mult; i++ {
+				ts = append(ts, w.tuple)
+			}
+		}
+		full[name] = ts
+	}
+	if err := tree.Init(full); err != nil {
+		return err
+	}
+	r.payload = tree.ResultPayload()
+	r.dirty = false
+	return nil
+}
+
+// Payload returns the last recomputed compound aggregate.
+func (r *Reeval) Payload() *ring.Covar { return r.payload }

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// CSV persistence for generated (or user-supplied) databases. Each
+// relation lives in <dir>/<Name>.csv; the header row carries typed
+// attribute names ("locn:int", "prize:float", "city:string") so files
+// round-trip without a side-channel schema.
+
+// WriteCSV writes every relation of db into dir (created if missing),
+// one typed-header CSV per relation.
+func WriteCSV(db *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rel := range db.Relations {
+		if err := writeRelationCSV(rel, filepath.Join(dir, rel.Name+".csv")); err != nil {
+			return fmt.Errorf("dataset: writing %s: %w", rel.Name, err)
+		}
+	}
+	return nil
+}
+
+func writeRelationCSV(rel Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+
+	header := make([]string, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		kind := "string"
+		if len(rel.Tuples) > 0 {
+			switch rel.Tuples[0][i].Kind() {
+			case value.KindInt:
+				kind = "int"
+			case value.KindFloat:
+				kind = "float"
+			}
+		}
+		header[i] = a + ":" + kind
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(rel.Attrs))
+	for _, tp := range rel.Tuples {
+		for i, v := range tp {
+			switch v.Kind() {
+			case value.KindInt:
+				row[i] = strconv.FormatInt(v.Int(), 10)
+			case value.KindFloat:
+				row[i] = strconv.FormatFloat(v.Float(), 'g', -1, 64)
+			case value.KindString:
+				row[i] = v.Str()
+			case value.KindNull:
+				row[i] = ""
+			}
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV loads the relations named in names (without the .csv suffix)
+// from dir into a Database. Attribute kinds come from the typed header.
+func ReadCSV(dir string, names []string) (*Database, error) {
+	db := &Database{Name: filepath.Base(dir)}
+	for _, name := range names {
+		rel, err := readRelationCSV(name, filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading %s: %w", name, err)
+		}
+		db.Relations = append(db.Relations, rel)
+	}
+	return db, nil
+}
+
+func readRelationCSV(name, path string) (Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Relation{}, err
+	}
+	defer f.Close()
+	return ParseCSV(name, f)
+}
+
+// ParseCSV parses one typed-header CSV stream into a relation.
+func ParseCSV(name string, r io.Reader) (Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return Relation{}, fmt.Errorf("reading header: %w", err)
+	}
+	rel := Relation{Name: name}
+	kinds := make([]value.Kind, len(header))
+	for i, h := range header {
+		attr, kind, found := strings.Cut(h, ":")
+		if !found {
+			kind = "string"
+		}
+		attr = strings.TrimSpace(attr)
+		if attr == "" {
+			return Relation{}, fmt.Errorf("column %d has an empty name", i)
+		}
+		rel.Attrs = append(rel.Attrs, attr)
+		switch strings.TrimSpace(kind) {
+		case "int", "long":
+			kinds[i] = value.KindInt
+		case "float", "double":
+			kinds[i] = value.KindFloat
+		case "string", "varchar":
+			kinds[i] = value.KindString
+		default:
+			return Relation{}, fmt.Errorf("column %q has unknown kind %q", attr, kind)
+		}
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Relation{}, err
+		}
+		tp := make(value.Tuple, len(rec))
+		for i, field := range rec {
+			if field == "" {
+				tp[i] = value.Null()
+				continue
+			}
+			switch kinds[i] {
+			case value.KindInt:
+				n, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return Relation{}, fmt.Errorf("line %d column %s: %w", line, rel.Attrs[i], err)
+				}
+				tp[i] = value.Int(n)
+			case value.KindFloat:
+				f, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return Relation{}, fmt.Errorf("line %d column %s: %w", line, rel.Attrs[i], err)
+				}
+				tp[i] = value.Float(f)
+			default:
+				tp[i] = value.String(field)
+			}
+		}
+		rel.Tuples = append(rel.Tuples, tp)
+	}
+	return rel, nil
+}

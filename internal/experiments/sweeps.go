@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/fivm"
+	"repro/internal/query"
+	"repro/internal/ring"
+	"repro/internal/view"
+)
+
+// SweepRow is one (parameter, throughput) measurement.
+type SweepRow struct {
+	Param      string
+	Throughput Throughput
+}
+
+// E7BatchSize sweeps the update bulk size at fixed workload: larger
+// bulks amortize per-batch delta construction and view probing, the
+// effect behind the demo's 10K-update bulks.
+func E7BatchSize(sc Scale, sizes []int) ([]SweepRow, error) {
+	s := newRetailerSetup(sc, 1)
+	var rows []SweepRow
+	for _, b := range sizes {
+		eng, err := fivm.NewCovarEngine(s.fspecs, s.aggAttrs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+			return nil, err
+		}
+		ups := s.stream(sc.StreamLen, 0.2, 5)
+		r, err := measure(fmt.Sprintf("batch=%d", b), ups, b, eng.Tree.ApplyUpdates)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{Param: fmt.Sprintf("%d", b), Throughput: r})
+	}
+	return rows, nil
+}
+
+// E7AggCount sweeps the number of aggregates in the compound payload
+// (degree m of the matrix ring): the per-update cost grows ~O(m²) while
+// a per-aggregate strategy would rerun the join m(m+3)/2+1 times.
+func E7AggCount(sc Scale, ms []int) ([]SweepRow, error) {
+	s := newRetailerSetup(sc, 1)
+	all := []string{"inventoryunits", "prize", "avghhi", "maxtemp", "medianage",
+		"population", "medianage2", "tot_area_sq_ft", "sell_area_sq_ft", "mintemp",
+		"meanwind", "houseunits", "families", "households", "males",
+		"females", "white", "black", "asian", "hispanic"}
+	// medianage2 is a placeholder; drop attrs not in the schema.
+	valid := all[:0]
+	schema := map[string]bool{}
+	for _, r := range s.db.Relations {
+		for _, a := range r.Attrs {
+			schema[a] = true
+		}
+	}
+	for _, a := range all {
+		if schema[a] {
+			valid = append(valid, a)
+		}
+	}
+	var rows []SweepRow
+	for _, m := range ms {
+		if m > len(valid) {
+			m = len(valid)
+		}
+		eng, err := fivm.NewCovarEngine(s.fspecs, valid[:m], nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+			return nil, err
+		}
+		ups := s.stream(sc.StreamLen, 0.2, 6)
+		r, err := measure(fmt.Sprintf("m=%d", m), ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+		if err != nil {
+			return nil, err
+		}
+		r.Note = fmt.Sprintf("%d scalar aggregates", 1+m+m*(m+1)/2)
+		rows = append(rows, SweepRow{Param: fmt.Sprintf("%d", m), Throughput: r})
+	}
+	return rows, nil
+}
+
+// A1Sharing isolates the ring-sharing benefit: the compound degree-m
+// COVAR ring versus maintaining the same 1+m+m(m+1)/2 aggregates as
+// independent float-ring view trees (still factorized, but each
+// aggregate re-walks the view tree on every update).
+func A1Sharing(sc Scale, m int) ([]Throughput, error) {
+	s := newRetailerSetup(sc, 1)
+	attrs := s.aggAttrs
+	if m < len(attrs) {
+		attrs = attrs[:m]
+	}
+	data := s.db.TupleMap()
+	ups := s.stream(sc.StreamLen, 0.2, 7)
+	var rows []Throughput
+
+	eng, err := fivm.NewCovarEngine(s.fspecs, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Tree.Init(data); err != nil {
+		return nil, err
+	}
+	r, err := measure("compound COVAR ring (shared)", ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+	if err != nil {
+		return nil, err
+	}
+	nAggs := 1 + len(attrs) + len(attrs)*(len(attrs)+1)/2
+	r.Note = fmt.Sprintf("%d aggregates, one view tree", nAggs)
+	rows = append(rows, r)
+
+	// Unshared: one float-ring tree per aggregate.
+	cat := query.NewCatalog()
+	for _, rel := range s.db.Relations {
+		if err := cat.AddRelation(rel.Name, rel.Attrs...); err != nil {
+			return nil, err
+		}
+	}
+	relNames := "Inventory NATURAL JOIN Location NATURAL JOIN Census NATURAL JOIN Item NATURAL JOIN Weather"
+	var trees []*view.Tree[float64]
+	addTree := func(sel string) error {
+		q, err := query.Parse(cat, "SELECT "+sel+" FROM "+relNames)
+		if err != nil {
+			return err
+		}
+		fe, err := fivm.NewFloatEngine(q)
+		if err != nil {
+			return err
+		}
+		if err := fe.Tree.Init(data); err != nil {
+			return err
+		}
+		trees = append(trees, fe.Tree)
+		return nil
+	}
+	if err := addTree("SUM(1)"); err != nil {
+		return nil, err
+	}
+	for i, a := range attrs {
+		if err := addTree("SUM(" + a + ")"); err != nil {
+			return nil, err
+		}
+		if err := addTree("SUM(sq(" + a + "))"); err != nil {
+			return nil, err
+		}
+		for _, b := range attrs[i+1:] {
+			if err := addTree("SUM(" + a + " * " + b + ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	apply := func(batch []view.Update) error {
+		for _, t := range trees {
+			if err := t.ApplyUpdates(batch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r, err = measure("independent float trees (unshared)", ups, sc.BatchSize, apply)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = fmt.Sprintf("%d aggregates, %d view trees", nAggs, len(trees))
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// A3Deletes sweeps the delete ratio: F-IVM treats deletes as negative
+// payloads, so throughput should stay in the same band regardless of
+// the ratio — unlike insert-only online learning systems.
+func A3Deletes(sc Scale, ratios []float64) ([]SweepRow, error) {
+	s := newRetailerSetup(sc, 1)
+	var rows []SweepRow
+	for _, dr := range ratios {
+		eng, err := fivm.NewCovarEngine(s.fspecs, s.aggAttrs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+			return nil, err
+		}
+		ups := s.stream(sc.StreamLen, dr, 8)
+		r, err := measure(fmt.Sprintf("deleteRatio=%.2f", dr), ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{Param: fmt.Sprintf("%.2f", dr), Throughput: r})
+	}
+	return rows, nil
+}
+
+// CovarAggsOfRing returns the scalar-aggregate count of a degree-m
+// compound payload, used in harness output.
+func CovarAggsOfRing(r ring.CovarRing) int {
+	m := r.Degree()
+	return 1 + m + m*(m+1)/2
+}
+
+// A2Factorization pits gradient maintenance (COVAR ring) against
+// maintaining the join result itself (relational-ring listing at the
+// root) on the same stream — the paper's core performance argument:
+// "F-IVM can maintain model gradients over a join faster than
+// maintaining the join, since the latter may be much larger and have
+// many repeating values."
+func A2Factorization(sc Scale) ([]Throughput, error) {
+	s := newRetailerSetup(sc, 1)
+	data := s.db.TupleMap()
+	ups := s.stream(sc.StreamLen, 0.2, 9)
+	var rows []Throughput
+
+	eng, err := fivm.NewCovarEngine(s.fspecs, s.aggAttrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Tree.Init(data); err != nil {
+		return nil, err
+	}
+	r, err := measure("gradient (COVAR payloads)", ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+	if err != nil {
+		return nil, err
+	}
+	nAggs := 1 + len(s.aggAttrs) + len(s.aggAttrs)*(len(s.aggAttrs)+1)/2
+	r.Note = fmt.Sprintf("%d aggregates, O(1)-size root payload", nAggs)
+	rows = append(rows, r)
+
+	je, err := fivm.NewJoinEngine(s.fspecs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := je.Tree.Init(data); err != nil {
+		return nil, err
+	}
+	r, err = measure("join result (relational payloads)", ups, sc.BatchSize, je.Tree.ApplyUpdates)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = fmt.Sprintf("root lists %d join tuples", je.Size())
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// A4RangedPayloads isolates the RingCofactor<double, idx, cnt>
+// optimization of Figure 2d: full degree-m payloads in every view
+// versus ranged payloads that carry only each subtree's aggregates.
+func A4RangedPayloads(sc Scale, m int) ([]Throughput, error) {
+	s := newRetailerSetup(sc, 1)
+	attrs := []string{"inventoryunits", "prize", "avghhi", "maxtemp", "medianage",
+		"population", "tot_area_sq_ft", "sell_area_sq_ft", "mintemp", "meanwind",
+		"houseunits", "families", "households", "males", "females",
+		"white", "black", "asian", "hispanic", "occupiedhouseunits"}
+	if m < len(attrs) {
+		attrs = attrs[:m]
+	}
+	data := s.db.TupleMap()
+	var rows []Throughput
+
+	full, err := fivm.NewCovarEngine(s.fspecs, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := full.Tree.Init(data); err != nil {
+		return nil, err
+	}
+	ups := s.stream(sc.StreamLen, 0.2, 10)
+	r, err := measure("full-degree payloads everywhere", ups, sc.BatchSize, full.Tree.ApplyUpdates)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = fmt.Sprintf("every view carries degree %d", len(attrs))
+	rows = append(rows, r)
+
+	ranged, err := fivm.NewRangedCovarEngine(s.fspecs, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := ranged.Tree.Init(data); err != nil {
+		return nil, err
+	}
+	r, err = measure("ranged payloads (RingCofactor<d,idx,cnt>)", ups, sc.BatchSize, ranged.Tree.ApplyUpdates)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = "views carry only their subtree's aggregates"
+	rows = append(rows, r)
+	return rows, nil
+}

@@ -1,0 +1,282 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// RidgeModel is a ridge linear regression model over the expanded
+// feature columns of a SigmaMatrix, with an explicit intercept.
+type RidgeModel struct {
+	// Intercept is θ0.
+	Intercept float64
+	// Weights holds one θ per feature column (the label's column weight
+	// is unused and kept at zero).
+	Weights []float64
+	// LabelCol is the column index of the label in the SigmaMatrix.
+	LabelCol int
+	// Iterations is the number of gradient steps the last Fit run took.
+	Iterations int
+	// Converged reports whether the gradient norm dropped below the
+	// tolerance before the iteration cap.
+	Converged bool
+}
+
+// RidgeConfig configures the batch-gradient-descent solver.
+type RidgeConfig struct {
+	// Lambda is the L2 regularization strength (applied to weights, not
+	// the intercept).
+	Lambda float64
+	// LearningRate is the initial step size; the solver backtracks when
+	// a step increases the objective.
+	LearningRate float64
+	// MaxIters caps gradient steps per Fit call.
+	MaxIters int
+	// Tolerance stops iteration when the gradient's max-norm falls
+	// below it.
+	Tolerance float64
+	// Normalize standardizes feature columns (zero mean, unit variance)
+	// inside the solver using only the sigma statistics, then maps the
+	// parameters back. This conditions gradient descent on raw-scale
+	// data; constant columns are left unscaled.
+	Normalize bool
+}
+
+// DefaultRidgeConfig returns a reasonable solver configuration.
+func DefaultRidgeConfig() RidgeConfig {
+	return RidgeConfig{Lambda: 1e-3, LearningRate: 0.1, MaxIters: 5000, Tolerance: 1e-8, Normalize: true}
+}
+
+// standardized derives the sigma statistics of the transformed features
+// x'_i = (x_i − μ_i)/σ_i from raw sigma statistics alone:
+//
+//	Σ'_ij = (Σ_ij − N μ_i μ_j) / (σ_i σ_j)
+//	s'_i  = 0
+//
+// The label column is standardized too, so the solver works on a
+// well-conditioned correlation-like matrix throughout.
+func standardized(m *SigmaMatrix) (*SigmaMatrix, []float64, []float64) {
+	n := m.Dim()
+	mu := make([]float64, n)
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		mu[i] = m.Sum[i] / m.Count
+		v := m.At(i, i)/m.Count - mu[i]*mu[i]
+		if v > 1e-12 {
+			sigma[i] = math.Sqrt(v)
+		} else {
+			sigma[i] = 1 // constant column: leave unscaled
+		}
+	}
+	out := &SigmaMatrix{n: n, Cols: m.Cols, Count: m.Count, Sum: make([]float64, n), Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = (m.At(i, j) - m.Count*mu[i]*mu[j]) / (sigma[i] * sigma[j])
+		}
+	}
+	return out, mu, sigma
+}
+
+// NewRidge returns a zero-initialized model for the given matrix and
+// label column.
+func NewRidge(m *SigmaMatrix, labelCol int) *RidgeModel {
+	return &RidgeModel{Weights: make([]float64, m.Dim()), LabelCol: labelCol}
+}
+
+// Fit runs batch gradient descent on the least-squares objective
+//
+//	J(θ) = 1/(2N) Σ (θ0 + θᵀx − y)² + λ/2 ‖θ‖²
+//
+// using only the COVAR statistics in m — the training data itself is
+// never materialized, which is the paper's central point: the gradient
+//
+//	∇θ J = 1/N (Σθ + θ0·s − Σ_y) + λθ
+//
+// needs only the count, the column sums s, and the matrix Σ of
+// SUM(x_i·x_j). Fit resumes from the model's current parameters, so
+// after a delta batch the solver re-converges from the previous optimum
+// (warm start), exactly like the demo's Regression tab.
+func (r *RidgeModel) Fit(m *SigmaMatrix, cfg RidgeConfig) error {
+	if m.Count <= 0 {
+		return fmt.Errorf("ml: cannot fit on an empty training set")
+	}
+	if len(r.Weights) != m.Dim() {
+		return fmt.Errorf("ml: model has %d weights, matrix has %d columns", len(r.Weights), m.Dim())
+	}
+	if cfg.Normalize {
+		sm, mu, sd := standardized(m)
+		y := r.LabelCol
+		if y < 0 || y >= m.Dim() {
+			return fmt.Errorf("ml: label column %d out of range", y)
+		}
+		// Map the warm-start parameters into standardized space:
+		// θ'_i = θ_i σ_i/σ_y, θ0' = (θ0 + Σθ_i μ_i − μ_y)/σ_y.
+		shift := r.Intercept - mu[y]
+		for i := range r.Weights {
+			if i == y {
+				continue
+			}
+			shift += r.Weights[i] * mu[i]
+			r.Weights[i] *= sd[i] / sd[y]
+		}
+		r.Intercept = shift / sd[y]
+		inner := cfg
+		inner.Normalize = false
+		err := r.Fit(sm, inner)
+		// Map back even on error so the model stays in raw space.
+		back := r.Intercept * sd[y]
+		for i := range r.Weights {
+			if i == y {
+				continue
+			}
+			r.Weights[i] *= sd[y] / sd[i]
+			back -= r.Weights[i] * mu[i]
+		}
+		r.Intercept = back + mu[y]
+		return err
+	}
+	n := m.Dim()
+	y := r.LabelCol
+	if y < 0 || y >= n {
+		return fmt.Errorf("ml: label column %d out of range", y)
+	}
+	invN := 1 / m.Count
+	lr := cfg.LearningRate
+	grad := make([]float64, n)
+	var gradIntercept float64
+
+	objective := func() float64 {
+		// J = 1/(2N) [ θᵀΣθ + 2θ0 θᵀs + N θ0² − 2θᵀΣ_y − 2θ0 s_y + Σ_yy ]
+		// + λ/2 ‖θ‖² ; constant Σ_yy included for proper backtracking.
+		var quad, lin float64
+		for i := 0; i < n; i++ {
+			if i == y {
+				continue
+			}
+			wi := r.Weights[i]
+			for j := 0; j < n; j++ {
+				if j == y {
+					continue
+				}
+				quad += wi * r.Weights[j] * m.At(i, j)
+			}
+			lin += wi * (r.Intercept*m.Sum[i] - m.At(i, y))
+		}
+		obj := 0.5*invN*(quad+m.At(y, y)) + invN*lin
+		obj += 0.5 * invN * (m.Count*r.Intercept*r.Intercept - 2*r.Intercept*m.Sum[y])
+		var reg float64
+		for i, w := range r.Weights {
+			if i != y {
+				reg += w * w
+			}
+		}
+		return obj + 0.5*cfg.Lambda*reg
+	}
+
+	computeGrad := func() float64 {
+		maxAbs := 0.0
+		for i := 0; i < n; i++ {
+			if i == y {
+				grad[i] = 0
+				continue
+			}
+			g := 0.0
+			for j := 0; j < n; j++ {
+				if j == y {
+					continue
+				}
+				g += m.At(i, j) * r.Weights[j]
+			}
+			g += r.Intercept*m.Sum[i] - m.At(i, y)
+			g = g*invN + cfg.Lambda*r.Weights[i]
+			grad[i] = g
+			if a := math.Abs(g); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		gi := r.Intercept*m.Count - m.Sum[y]
+		for j := 0; j < n; j++ {
+			if j != y {
+				gi += m.Sum[j] * r.Weights[j]
+			}
+		}
+		gradIntercept = gi * invN
+		if a := math.Abs(gradIntercept); a > maxAbs {
+			maxAbs = a
+		}
+		return maxAbs
+	}
+
+	r.Converged = false
+	r.Iterations = 0
+	prevObj := objective()
+	for it := 0; it < cfg.MaxIters; it++ {
+		r.Iterations = it + 1
+		if computeGrad() < cfg.Tolerance {
+			r.Converged = true
+			return nil
+		}
+		// Backtracking line search on the step size.
+		for {
+			for i := range r.Weights {
+				r.Weights[i] -= lr * grad[i]
+			}
+			r.Intercept -= lr * gradIntercept
+			obj := objective()
+			if obj <= prevObj || lr < 1e-15 {
+				if obj < prevObj {
+					lr *= 1.05 // gentle growth after successful steps
+				}
+				prevObj = obj
+				break
+			}
+			// Undo and halve.
+			for i := range r.Weights {
+				r.Weights[i] += lr * grad[i]
+			}
+			r.Intercept += lr * gradIntercept
+			lr /= 2
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the model on an expanded feature vector x (the
+// label column's entry is ignored).
+func (r *RidgeModel) Predict(x []float64) float64 {
+	out := r.Intercept
+	for i, w := range r.Weights {
+		if i != r.LabelCol {
+			out += w * x[i]
+		}
+	}
+	return out
+}
+
+// TrainRMSE computes the root-mean-squared training error from the
+// sigma statistics alone:
+//
+//	MSE = 1/N (θᵀΣθ + 2θ0 θᵀs + Nθ0² − 2θᵀΣ_y − 2θ0 s_y + Σ_yy)
+func (r *RidgeModel) TrainRMSE(m *SigmaMatrix) float64 {
+	n := m.Dim()
+	y := r.LabelCol
+	var quad, lin float64
+	for i := 0; i < n; i++ {
+		if i == y {
+			continue
+		}
+		wi := r.Weights[i]
+		for j := 0; j < n; j++ {
+			if j == y {
+				continue
+			}
+			quad += wi * r.Weights[j] * m.At(i, j)
+		}
+		lin += wi * (r.Intercept*m.Sum[i] - m.At(i, y))
+	}
+	mse := (quad + 2*lin + m.Count*r.Intercept*r.Intercept - 2*r.Intercept*m.Sum[y] + m.At(y, y)) / m.Count
+	if mse < 0 {
+		mse = 0 // numeric noise near a perfect fit
+	}
+	return math.Sqrt(mse)
+}

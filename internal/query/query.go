@@ -1,0 +1,260 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+	"repro/internal/vo"
+)
+
+// AttrKind classifies attributes for lift-function selection.
+type AttrKind int
+
+const (
+	// Continuous attributes contribute scalar SUM aggregates.
+	Continuous AttrKind = iota
+	// Categorical attributes are one-hot encoded: their aggregates are
+	// relations grouped by the attribute.
+	Categorical
+)
+
+// String returns "continuous" or "categorical".
+func (k AttrKind) String() string {
+	if k == Categorical {
+		return "categorical"
+	}
+	return "continuous"
+}
+
+// Relation describes one catalog relation.
+type Relation struct {
+	Name   string
+	Schema value.Schema
+}
+
+// Catalog maps relation names to schemas and attribute kinds. Attribute
+// names are global (natural-join semantics): the same name in two
+// relations is one variable.
+type Catalog struct {
+	rels  map[string]Relation
+	order []string
+	kinds map[string]AttrKind
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: map[string]Relation{}, kinds: map[string]AttrKind{}}
+}
+
+// AddRelation registers a relation; attributes default to Continuous.
+func (c *Catalog) AddRelation(name string, attrs ...string) error {
+	if _, dup := c.rels[name]; dup {
+		return fmt.Errorf("query: relation %s already in catalog", name)
+	}
+	c.rels[name] = Relation{Name: name, Schema: value.NewSchema(attrs...)}
+	c.order = append(c.order, name)
+	return nil
+}
+
+// SetKind marks an attribute continuous or categorical catalog-wide.
+func (c *Catalog) SetKind(attr string, k AttrKind) { c.kinds[attr] = k }
+
+// Kind returns the kind of attr (Continuous when unset).
+func (c *Catalog) Kind(attr string) AttrKind { return c.kinds[attr] }
+
+// Relation looks up a relation by name.
+func (c *Catalog) Relation(name string) (Relation, bool) {
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// Relations returns all catalog relations in registration order.
+func (c *Catalog) Relations() []Relation {
+	out := make([]Relation, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.rels[n])
+	}
+	return out
+}
+
+// HasAttr reports whether any relation contains attr.
+func (c *Catalog) HasAttr(attr string) bool {
+	for _, r := range c.rels {
+		if r.Schema.Has(attr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Factor is one multiplicand inside SUM(...): either a numeric constant,
+// a bare attribute (implicit identity function), or a named function
+// applied to an attribute.
+type Factor struct {
+	// Const holds the literal for constant factors; meaningful only when
+	// IsConst is true.
+	Const   float64
+	IsConst bool
+	// Func is the applied function name ("" for a bare attribute).
+	Func string
+	// Attr is the attribute the factor ranges over ("" for constants).
+	Attr string
+}
+
+// String renders the factor in SQL-ish syntax.
+func (f Factor) String() string {
+	switch {
+	case f.IsConst:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f.Const), "0"), ".")
+	case f.Func != "":
+		return f.Func + "(" + f.Attr + ")"
+	default:
+		return f.Attr
+	}
+}
+
+// Aggregate is one SUM(...) select item: the product of its factors.
+type Aggregate struct {
+	Factors []Factor
+	// Alias is the optional AS name.
+	Alias string
+}
+
+// Attrs returns the distinct attributes the aggregate ranges over, in
+// first-appearance order.
+func (a Aggregate) Attrs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range a.Factors {
+		if f.Attr != "" && !seen[f.Attr] {
+			seen[f.Attr] = true
+			out = append(out, f.Attr)
+		}
+	}
+	return out
+}
+
+// String renders the aggregate, e.g. "SUM(gB(B) * gC(C))".
+func (a Aggregate) String() string {
+	parts := make([]string, len(a.Factors))
+	for i, f := range a.Factors {
+		parts[i] = f.String()
+	}
+	s := "SUM(" + strings.Join(parts, " * ") + ")"
+	if a.Alias != "" {
+		s += " AS " + a.Alias
+	}
+	return s
+}
+
+// Query is a parsed and validated F-IVM query: SUM aggregates over the
+// natural join of the listed relations, optionally grouped.
+type Query struct {
+	Aggregates []Aggregate
+	Relations  []Relation
+	GroupBy    []string
+}
+
+// Vars returns every variable (attribute) of the query's relations,
+// sorted.
+func (q *Query) Vars() []string {
+	seen := map[string]bool{}
+	for _, r := range q.Relations {
+		for _, a := range r.Schema.Attrs() {
+			seen[a] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VORels converts the query's relations to the vo package's input form.
+func (q *Query) VORels() []vo.Rel {
+	out := make([]vo.Rel, len(q.Relations))
+	for i, r := range q.Relations {
+		out[i] = vo.Rel{Name: r.Name, Schema: r.Schema}
+	}
+	return out
+}
+
+// JoinVars returns the variables occurring in at least two relations,
+// sorted.
+func (q *Query) JoinVars() []string {
+	count := map[string]int{}
+	for _, r := range q.Relations {
+		for _, a := range r.Schema.Attrs() {
+			count[a]++
+		}
+	}
+	var out []string
+	for a, c := range count {
+		if c >= 2 {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the query back to SQL-ish text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	items := make([]string, 0, len(q.Aggregates)+len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		items = append(items, g)
+	}
+	for _, a := range q.Aggregates {
+		items = append(items, a.String())
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	names := make([]string, len(q.Relations))
+	for i, r := range q.Relations {
+		names[i] = r.Name
+	}
+	b.WriteString(strings.Join(names, " NATURAL JOIN "))
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(q.GroupBy, ", "))
+	}
+	return b.String()
+}
+
+// Validate checks the query against the catalog: relations exist,
+// aggregate attributes exist in some relation, group-by attributes
+// exist, and plain select attributes are grouped.
+func (q *Query) Validate(c *Catalog) error {
+	if len(q.Relations) == 0 {
+		return fmt.Errorf("query: no relations")
+	}
+	attrs := value.NewSchema()
+	for _, r := range q.Relations {
+		cr, ok := c.Relation(r.Name)
+		if !ok {
+			return fmt.Errorf("query: unknown relation %s", r.Name)
+		}
+		if !cr.Schema.Equal(r.Schema) {
+			return fmt.Errorf("query: relation %s schema drifted from catalog", r.Name)
+		}
+		attrs = attrs.Union(r.Schema)
+	}
+	for _, a := range q.Aggregates {
+		for _, f := range a.Factors {
+			if f.Attr != "" && !attrs.Has(f.Attr) {
+				return fmt.Errorf("query: aggregate attribute %s not in any joined relation", f.Attr)
+			}
+		}
+	}
+	for _, g := range q.GroupBy {
+		if !attrs.Has(g) {
+			return fmt.Errorf("query: group-by attribute %s not in any joined relation", g)
+		}
+	}
+	return nil
+}

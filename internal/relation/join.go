@@ -1,0 +1,124 @@
+package relation
+
+import (
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// Join computes the natural join of left and right under ring r: tuples
+// agreeing on the common attributes combine, payloads multiply with the
+// ring product (left payload first, preserving any non-commutative key
+// orientation). The output schema is left's schema followed by right's
+// attributes not in left.
+//
+// The implementation is a classic hash join: it indexes the smaller side
+// on the common attributes and probes with the larger.
+func Join[V any](r ring.Ring[V], left, right *Map[V]) *Map[V] {
+	common := left.schema.Intersect(right.schema)
+	outSchema := left.schema.Union(right.schema)
+	out := New[V](outSchema)
+	if left.Len() == 0 || right.Len() == 0 {
+		return out
+	}
+
+	// Cartesian product when there are no common attributes.
+	if common.Len() == 0 {
+		rightExtra := right.schema.Minus(left.schema)
+		rightIdx := right.schema.MustProject(rightExtra)
+		for _, le := range left.data {
+			for _, re := range right.data {
+				t := le.tuple.Concat(re.tuple.Project(rightIdx))
+				out.Merge(r, t, r.Mul(le.payload, re.payload))
+			}
+		}
+		return out
+	}
+
+	build, probe := right, left
+	swapped := false
+	if left.Len() < right.Len() {
+		build, probe = left, right
+		swapped = true
+	}
+
+	buildCommon := build.schema.MustProject(common)
+	probeCommon := probe.schema.MustProject(common)
+	// Attributes the build side contributes beyond the probe side.
+	buildExtra := build.schema.Minus(probe.schema)
+	buildExtraIdx := build.schema.MustProject(buildExtra)
+
+	index := make(map[string][]entry[V], build.Len())
+	for _, e := range build.data {
+		k := e.tuple.EncodeProject(buildCommon)
+		index[k] = append(index[k], e)
+	}
+
+	// Positions to reorder (probe ++ buildExtra) into the output schema.
+	joined := probe.schema.Union(buildExtra)
+	reorder := joined.MustProject(outSchema)
+
+	for _, pe := range probe.data {
+		k := pe.tuple.EncodeProject(probeCommon)
+		for _, be := range index[k] {
+			t := pe.tuple.Concat(be.tuple.Project(buildExtraIdx)).Project(reorder)
+			var p V
+			if swapped {
+				// build side is left: keep left-first product order.
+				p = r.Mul(be.payload, pe.payload)
+			} else {
+				p = r.Mul(pe.payload, be.payload)
+			}
+			out.Merge(r, t, p)
+		}
+	}
+	return out
+}
+
+// Aggregate groups the relation by the attributes of outSchema (which
+// must be a subset of m's schema) and sums payloads with the ring
+// addition. If lift is non-nil, each tuple's payload is first multiplied
+// by lift applied to the value of liftAttr (payload × lift, in that
+// order).
+func Aggregate[V any](r ring.Ring[V], m *Map[V], outSchema value.Schema, liftAttr string, lift ring.Lift[V]) *Map[V] {
+	proj := m.schema.MustProject(outSchema)
+	liftIdx := -1
+	if lift != nil {
+		liftIdx = m.schema.Index(liftAttr)
+		if liftIdx < 0 {
+			panic("relation: lift attribute " + liftAttr + " not in schema " + m.schema.String())
+		}
+	}
+	out := New[V](outSchema)
+	for _, e := range m.data {
+		p := e.payload
+		if liftIdx >= 0 {
+			p = r.Mul(p, lift(e.tuple[liftIdx]))
+		}
+		// Hot path: encode the projected key directly and materialize
+		// the group tuple only when the group is first seen.
+		k := e.tuple.EncodeProject(proj)
+		if ex, ok := out.data[k]; ok {
+			s := r.Add(ex.payload, p)
+			if r.IsZero(s) {
+				delete(out.data, k)
+			} else {
+				out.data[k] = entry[V]{tuple: ex.tuple, payload: s}
+			}
+		} else if !r.IsZero(p) {
+			out.data[k] = entry[V]{tuple: e.tuple.Project(proj), payload: p}
+		}
+	}
+	return out
+}
+
+// FromTuples builds a relation from raw tuples, assigning each the ring
+// One payload and merging duplicates (so duplicate input tuples get
+// multiplicity 2·One, matching bag semantics).
+func FromTuples[V any](r ring.Ring[V], schema value.Schema, tuples []value.Tuple) *Map[V] {
+	out := New[V](schema)
+	one := r.One()
+	for _, t := range tuples {
+		out.Merge(r, t, one)
+	}
+	return out
+}

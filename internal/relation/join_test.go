@@ -1,0 +1,212 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+func TestJoinNatural(t *testing.T) {
+	z := ring.Ints{}
+	r := New[int64](s("A", "B"))
+	r.Merge(z, value.T("a1", 1), 1)
+	r.Merge(z, value.T("a2", 2), 2)
+	sRel := New[int64](s("A", "C"))
+	sRel.Merge(z, value.T("a1", 10), 3)
+	sRel.Merge(z, value.T("a1", 11), 1)
+	sRel.Merge(z, value.T("a3", 12), 1)
+
+	j := Join[int64](z, r, sRel)
+	if !j.Schema().Equal(s("A", "B", "C")) {
+		t.Fatalf("join schema = %v", j.Schema())
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join size = %d: %v", j.Len(), j)
+	}
+	if got, _ := j.Get(value.T("a1", 1, 10)); got != 3 {
+		t.Errorf("payload (a1,1,10) = %d, want 1*3", got)
+	}
+	if got, _ := j.Get(value.T("a1", 1, 11)); got != 1 {
+		t.Errorf("payload (a1,1,11) = %d", got)
+	}
+}
+
+func TestJoinCartesian(t *testing.T) {
+	z := ring.Ints{}
+	a := New[int64](s("A"))
+	a.Merge(z, value.T(1), 2)
+	a.Merge(z, value.T(2), 1)
+	b := New[int64](s("B"))
+	b.Merge(z, value.T("x"), 3)
+	j := Join[int64](z, a, b)
+	if j.Len() != 2 {
+		t.Fatalf("cartesian size = %d", j.Len())
+	}
+	if got, _ := j.Get(value.T(1, "x")); got != 6 {
+		t.Errorf("payload = %d, want 6", got)
+	}
+}
+
+func TestJoinEmptyOperand(t *testing.T) {
+	z := ring.Ints{}
+	a := New[int64](s("A"))
+	a.Merge(z, value.T(1), 1)
+	empty := New[int64](s("A", "B"))
+	if j := Join[int64](z, a, empty); j.Len() != 0 {
+		t.Error("join with empty not empty")
+	}
+	if j := Join[int64](z, empty, a); j.Len() != 0 {
+		t.Error("join with empty (swapped) not empty")
+	}
+}
+
+func TestJoinSameSchema(t *testing.T) {
+	// Joining two relations over the identical schema intersects them.
+	z := ring.Ints{}
+	a := New[int64](s("A"))
+	a.Merge(z, value.T(1), 2)
+	a.Merge(z, value.T(2), 1)
+	b := New[int64](s("A"))
+	b.Merge(z, value.T(2), 5)
+	j := Join[int64](z, a, b)
+	if j.Len() != 1 {
+		t.Fatalf("size = %d", j.Len())
+	}
+	if got, _ := j.Get(value.T(2)); got != 5 {
+		t.Errorf("payload = %d", got)
+	}
+}
+
+// naiveJoin is an O(n·m) reference implementation used by the property
+// test below.
+func naiveJoin(z ring.Ints, left, right *Map[int64]) *Map[int64] {
+	out := New[int64](left.Schema().Union(right.Schema()))
+	common := left.Schema().Intersect(right.Schema())
+	li := left.Schema().MustProject(common)
+	ri := right.Schema().MustProject(common)
+	extra := right.Schema().Minus(left.Schema())
+	re := right.Schema().MustProject(extra)
+	left.Each(func(lt value.Tuple, lp int64) {
+		right.Each(func(rt value.Tuple, rp int64) {
+			if !lt.Project(li).Equal(rt.Project(ri)) {
+				return
+			}
+			out.Merge(z, lt.Concat(rt.Project(re)), lp*rp)
+		})
+	})
+	return out
+}
+
+func TestJoinMatchesNaiveOnRandomInputs(t *testing.T) {
+	z := ring.Ints{}
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		left := New[int64](s("A", "B"))
+		right := New[int64](s("B", "C"))
+		for i := 0; i < rng.Intn(12); i++ {
+			left.Merge(z, value.T(rng.Intn(4), rng.Intn(4)), int64(rng.Intn(5)-2))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			right.Merge(z, value.T(rng.Intn(4), rng.Intn(4)), int64(rng.Intn(5)-2))
+		}
+		fast := Join[int64](z, left, right)
+		slow := naiveJoin(z, left, right)
+		if !fast.Equal(slow, func(a, b int64) bool { return a == b }) {
+			t.Fatalf("iter %d:\nleft=%v\nright=%v\nfast=%v\nslow=%v", iter, left, right, fast, slow)
+		}
+	}
+}
+
+func TestJoinBuildSideSwapKeepsProductOrder(t *testing.T) {
+	// With a non-commutative payload product (the raw relational ring),
+	// Join must always compute left-payload × right-payload, whichever
+	// side it indexes.
+	var rel ring.Relational
+	mk := func(n int, key string) *Map[ring.RelVal] {
+		m := New[ring.RelVal](s("A"))
+		for i := 0; i < n; i++ {
+			m.Merge(rel, value.T(i), ring.RelVal{value.T(key).Encode(): 1})
+		}
+		return m
+	}
+	// Make left smaller than right, then vice versa.
+	for _, sizes := range [][2]int{{1, 3}, {3, 1}} {
+		left := mk(sizes[0], "L")
+		right := mk(sizes[1], "R")
+		j := Join[ring.RelVal](rel, left, right)
+		j.Each(func(tp value.Tuple, p ring.RelVal) {
+			if p.Get(value.T("L", "R")) != 1 {
+				t.Fatalf("sizes %v: payload %v, want key (L,R)", sizes, p)
+			}
+		})
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A", "B"))
+	m.Merge(z, value.T("x", 1), 1)
+	m.Merge(z, value.T("x", 2), 2)
+	m.Merge(z, value.T("y", 3), 5)
+	g := Aggregate[int64](z, m, s("A"), "", nil)
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	if got, _ := g.Get(value.T("x")); got != 3 {
+		t.Errorf("group x = %d", got)
+	}
+	if got, _ := g.Get(value.T("y")); got != 5 {
+		t.Errorf("group y = %d", got)
+	}
+}
+
+func TestAggregateWithLift(t *testing.T) {
+	f := ring.Floats{}
+	m := New[float64](s("A", "B"))
+	m.Merge(f, value.T("x", 2), 1)
+	m.Merge(f, value.T("x", 3), 1)
+	g := Aggregate[float64](f, m, s("A"), "B", ring.IdentityLift)
+	if got, _ := g.Get(value.T("x")); got != 5 {
+		t.Errorf("SUM(B) group x = %v", got)
+	}
+	sq := Aggregate[float64](f, m, s("A"), "B", ring.SquareLift)
+	if got, _ := sq.Get(value.T("x")); got != 13 {
+		t.Errorf("SUM(B*B) group x = %v", got)
+	}
+}
+
+func TestAggregateToEmptySchema(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A"))
+	m.Merge(z, value.T(1), 2)
+	m.Merge(z, value.T(2), 3)
+	g := Aggregate[int64](z, m, s(), "", nil)
+	if got, _ := g.Get(value.Tuple{}); got != 5 {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestAggregateLiftAttrMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	z := ring.Ints{}
+	m := New[int64](s("A"))
+	Aggregate[int64](z, m, s(), "Z", ring.CountLift)
+}
+
+func TestAggregateCancellation(t *testing.T) {
+	// Groups whose payloads cancel must vanish from the output.
+	z := ring.Ints{}
+	m := New[int64](s("A", "B"))
+	m.Merge(z, value.T("x", 1), 2)
+	m.Merge(z, value.T("x", 2), -2)
+	g := Aggregate[int64](z, m, s("A"), "", nil)
+	if g.Len() != 0 {
+		t.Errorf("cancelled group survived: %v", g)
+	}
+}

@@ -1,0 +1,120 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// ops replays a bounded sequence of merges derived from quick-generated
+// bytes; used to drive the property tests below.
+func replay(ops []byte) *Map[int64] {
+	z := ring.Ints{}
+	m := New[int64](value.NewSchema("A"))
+	for _, b := range ops {
+		key := value.T(int(b % 4))
+		mult := int64(b%7) - 3
+		m.Merge(z, key, mult)
+	}
+	return m
+}
+
+// TestQuickNoZeroPayloads: after any merge sequence, no stored payload
+// is the ring zero — the compactness invariant every view relies on.
+func TestQuickNoZeroPayloads(t *testing.T) {
+	if err := quick.Check(func(ops []byte) bool {
+		m := replay(ops)
+		ok := true
+		m.Each(func(_ value.Tuple, p int64) {
+			if p == 0 {
+				ok = false
+			}
+		})
+		return ok
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeIsOrderInsensitive: the final relation is the same for
+// any permutation of a merge sequence (addition is commutative).
+func TestQuickMergeIsOrderInsensitive(t *testing.T) {
+	if err := quick.Check(func(ops []byte) bool {
+		m1 := replay(ops)
+		// Reverse order.
+		rev := make([]byte, len(ops))
+		for i, b := range ops {
+			rev[len(ops)-1-i] = b
+		}
+		m2 := replay(rev)
+		return m1.Equal(m2, func(a, b int64) bool { return a == b })
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegateCancels: merging a relation with its negation yields
+// the empty relation.
+func TestQuickNegateCancels(t *testing.T) {
+	z := ring.Ints{}
+	if err := quick.Check(func(ops []byte) bool {
+		m := replay(ops)
+		n := m.Negate(z)
+		m.MergeAll(z, n)
+		return m.Len() == 0
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinCommutesOnCounts: for the commutative Z ring, Join(a, b)
+// and Join(b, a) hold the same tuples up to attribute order.
+func TestQuickJoinCommutesOnCounts(t *testing.T) {
+	z := ring.Ints{}
+	build := func(ops []byte, schema value.Schema) *Map[int64] {
+		m := New[int64](schema)
+		for _, b := range ops {
+			m.Merge(z, value.T(int(b%3), int(b/3%3)), int64(b%5)-2)
+		}
+		return m
+	}
+	sAB := value.NewSchema("A", "B")
+	sBC := value.NewSchema("B", "C")
+	if err := quick.Check(func(o1, o2 []byte) bool {
+		left := build(o1, sAB)
+		right := build(o2, sBC)
+		ab := Join[int64](z, left, right) // schema [A, B, C]
+		ba := Join[int64](z, right, left) // schema [B, C, A]
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		// Reproject ba into ab's schema and compare.
+		reproj := Aggregate[int64](z, ba, ab.Schema(), "", nil)
+		return ab.Equal(reproj, func(a, b int64) bool { return a == b })
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAggregateTotalPreserved: group-by aggregation never changes
+// the total payload mass.
+func TestQuickAggregateTotalPreserved(t *testing.T) {
+	z := ring.Ints{}
+	schema := value.NewSchema("A", "B")
+	if err := quick.Check(func(ops []byte) bool {
+		m := New[int64](schema)
+		for _, b := range ops {
+			m.Merge(z, value.T(int(b%3), int(b/3%3)), int64(b%5)-2)
+		}
+		var total int64
+		m.Each(func(_ value.Tuple, p int64) { total += p })
+		g := Aggregate[int64](z, m, value.NewSchema("A"), "", nil)
+		var gTotal int64
+		g.Each(func(_ value.Tuple, p int64) { gTotal += p })
+		return total == gTotal
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

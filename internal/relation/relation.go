@@ -1,0 +1,173 @@
+// Package relation implements keyed relations with ring payloads: the
+// storage substrate of F-IVM. A relation maps tuples over a schema to
+// payload values from an application ring; views, deltas, and input
+// relations are all the same structure. Negative payloads encode
+// deletes, so a "delta relation" needs no special type.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// Map is a relation over a fixed key schema with payloads in V. Tuples
+// with payload equal to the ring zero are not stored. Map is not safe
+// for concurrent mutation.
+type Map[V any] struct {
+	schema value.Schema
+	data   map[string]entry[V]
+}
+
+type entry[V any] struct {
+	tuple   value.Tuple
+	payload V
+}
+
+// New returns an empty relation over the given key schema.
+func New[V any](schema value.Schema) *Map[V] {
+	return &Map[V]{schema: schema, data: make(map[string]entry[V])}
+}
+
+// Schema returns the key schema.
+func (m *Map[V]) Schema() value.Schema { return m.schema }
+
+// Len returns the number of tuples with non-zero payload.
+func (m *Map[V]) Len() int { return len(m.data) }
+
+// Get returns the payload of tuple t and whether it is present.
+func (m *Map[V]) Get(t value.Tuple) (V, bool) {
+	e, ok := m.data[t.Encode()]
+	return e.payload, ok
+}
+
+// GetOr returns the payload of t, or def when absent.
+func (m *Map[V]) GetOr(t value.Tuple, def V) V {
+	if e, ok := m.data[t.Encode()]; ok {
+		return e.payload
+	}
+	return def
+}
+
+// Set stores payload p for tuple t, replacing any existing payload.
+// The tuple length must match the schema.
+func (m *Map[V]) Set(t value.Tuple, p V) {
+	if len(t) != m.schema.Len() {
+		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %v", len(t), m.schema))
+	}
+	m.data[t.Encode()] = entry[V]{tuple: t, payload: p}
+}
+
+// Merge adds payload p to tuple t's payload under ring r, removing the
+// entry if the result is the ring zero.
+func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
+	if len(t) != m.schema.Len() {
+		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %v", len(t), m.schema))
+	}
+	k := t.Encode()
+	if e, ok := m.data[k]; ok {
+		s := r.Add(e.payload, p)
+		if r.IsZero(s) {
+			delete(m.data, k)
+		} else {
+			m.data[k] = entry[V]{tuple: e.tuple, payload: s}
+		}
+		return
+	}
+	if !r.IsZero(p) {
+		m.data[k] = entry[V]{tuple: t, payload: p}
+	}
+}
+
+// MergeAll merges every tuple of other into m under ring r. The schemas
+// must be equal.
+func (m *Map[V]) MergeAll(r ring.Ring[V], other *Map[V]) {
+	if !m.schema.Equal(other.schema) {
+		panic(fmt.Sprintf("relation: MergeAll schema mismatch %v vs %v", m.schema, other.schema))
+	}
+	for k, e := range other.data {
+		if ex, ok := m.data[k]; ok {
+			s := r.Add(ex.payload, e.payload)
+			if r.IsZero(s) {
+				delete(m.data, k)
+			} else {
+				m.data[k] = entry[V]{tuple: ex.tuple, payload: s}
+			}
+		} else if !r.IsZero(e.payload) {
+			m.data[k] = e
+		}
+	}
+}
+
+// Each calls fn for every tuple/payload pair in unspecified order.
+// fn must not mutate the relation.
+func (m *Map[V]) Each(fn func(t value.Tuple, p V)) {
+	for _, e := range m.data {
+		fn(e.tuple, e.payload)
+	}
+}
+
+// EachSorted calls fn in lexicographic tuple order; used by tests and
+// display code that need determinism.
+func (m *Map[V]) EachSorted(fn func(t value.Tuple, p V)) {
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := m.data[k]
+		fn(e.tuple, e.payload)
+	}
+}
+
+// Clone returns a shallow copy (payloads are shared, which is safe under
+// the immutable-payload convention).
+func (m *Map[V]) Clone() *Map[V] {
+	out := &Map[V]{schema: m.schema, data: make(map[string]entry[V], len(m.data))}
+	for k, e := range m.data {
+		out.data[k] = e
+	}
+	return out
+}
+
+// Negate returns a copy with every payload replaced by its additive
+// inverse; applied to an insert batch it yields the matching delete
+// batch.
+func (m *Map[V]) Negate(r ring.Ring[V]) *Map[V] {
+	out := &Map[V]{schema: m.schema, data: make(map[string]entry[V], len(m.data))}
+	for k, e := range m.data {
+		out.data[k] = entry[V]{tuple: e.tuple, payload: r.Neg(e.payload)}
+	}
+	return out
+}
+
+// Equal reports whether two relations over equal schemas hold the same
+// tuples with payloads equal under eq.
+func (m *Map[V]) Equal(other *Map[V], eq func(a, b V) bool) bool {
+	if !m.schema.Equal(other.schema) || len(m.data) != len(other.data) {
+		return false
+	}
+	for k, e := range m.data {
+		oe, ok := other.data[k]
+		if !ok || !eq(e.payload, oe.payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation sorted by tuple, one "tuple -> payload"
+// pair per line.
+func (m *Map[V]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v {\n", m.schema)
+	m.EachSorted(func(t value.Tuple, p V) {
+		fmt.Fprintf(&b, "  %v -> %v\n", t, p)
+	})
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package ring
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Codec serializes ring payloads for snapshots. Implementations must
+// round-trip exactly: Decode(Encode(v)) is indistinguishable from v
+// under the ring's operations.
+type Codec[V any] interface {
+	// Encode writes v to w.
+	Encode(w io.Writer, v V) error
+	// Decode reads one value from r.
+	Decode(r io.Reader) (V, error)
+}
+
+// maxDecodeLen bounds length prefixes while decoding, rejecting
+// corrupted or adversarial snapshots before allocating.
+const maxDecodeLen = 1 << 30
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func readUvarint(r io.Reader) (uint64, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	return binary.ReadUvarint(br)
+}
+
+type byteReader struct{ r io.Reader }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	_, err := io.ReadFull(b.r, buf[:])
+	return buf[0], err
+}
+
+func writeFloat(w io.Writer, f float64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readFloat(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(buf[:])), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxDecodeLen {
+		return "", fmt.Errorf("ring: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// IntCodec serializes Z-ring payloads.
+type IntCodec struct{}
+
+// Encode writes v as a zig-zag varint.
+func (IntCodec) Encode(w io.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// Decode reads a zig-zag varint.
+func (IntCodec) Decode(r io.Reader) (int64, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	return binary.ReadVarint(br)
+}
+
+// FloatCodec serializes float-ring payloads.
+type FloatCodec struct{}
+
+// Encode writes the IEEE-754 bits big-endian.
+func (FloatCodec) Encode(w io.Writer, v float64) error { return writeFloat(w, v) }
+
+// Decode reads 8 big-endian bytes.
+func (FloatCodec) Decode(r io.Reader) (float64, error) { return readFloat(r) }
+
+// RelValCodec serializes relational-ring payloads.
+type RelValCodec struct{}
+
+// Encode writes the tuple count followed by (key, coefficient) pairs.
+// Iteration order is unspecified; the decoded map is equal regardless.
+func (RelValCodec) Encode(w io.Writer, v RelVal) error {
+	if err := writeUvarint(w, uint64(len(v))); err != nil {
+		return err
+	}
+	for k, c := range v {
+		if err := writeString(w, k); err != nil {
+			return err
+		}
+		if err := writeFloat(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads a relational value; zero tuples decode to nil.
+func (RelValCodec) Decode(r io.Reader) (RelVal, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxDecodeLen {
+		return nil, fmt.Errorf("ring: relation size %d exceeds limit", n)
+	}
+	out := make(RelVal, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		c, err := readFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = c
+	}
+	return out, nil
+}
+
+// CovarCodec serializes degree-m matrix-ring payloads. The codec is
+// bound to a ring so degree mismatches are caught at decode time.
+type CovarCodec struct{ Ring CovarRing }
+
+// Encode writes a presence flag, the degree, and the flat components.
+func (c CovarCodec) Encode(w io.Writer, v *Covar) error {
+	if v == nil {
+		return writeUvarint(w, 0)
+	}
+	if v.m != c.Ring.m {
+		return fmt.Errorf("ring: encoding degree-%d payload with degree-%d codec", v.m, c.Ring.m)
+	}
+	if err := writeUvarint(w, 1); err != nil {
+		return err
+	}
+	if err := writeFloat(w, v.C); err != nil {
+		return err
+	}
+	for _, s := range v.S {
+		if err := writeFloat(w, s); err != nil {
+			return err
+		}
+	}
+	for _, q := range v.Q {
+		if err := writeFloat(w, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one payload (nil for the zero flag).
+func (c CovarCodec) Decode(r io.Reader) (*Covar, error) {
+	flag, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if flag == 0 {
+		return nil, nil
+	}
+	out := c.Ring.One()
+	if out.C, err = readFloat(r); err != nil {
+		return nil, err
+	}
+	for i := range out.S {
+		if out.S[i], err = readFloat(r); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out.Q {
+		if out.Q[i], err = readFloat(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RelCovarCodec serializes generalized degree-m payloads.
+type RelCovarCodec struct{ Ring RelCovarRing }
+
+// Encode writes a presence flag and the relational components.
+func (c RelCovarCodec) Encode(w io.Writer, v *RelCovar) error {
+	if v == nil {
+		return writeUvarint(w, 0)
+	}
+	if v.m != c.Ring.m {
+		return fmt.Errorf("ring: encoding degree-%d payload with degree-%d codec", v.m, c.Ring.m)
+	}
+	if err := writeUvarint(w, 1); err != nil {
+		return err
+	}
+	var rc RelValCodec
+	if err := rc.Encode(w, v.C); err != nil {
+		return err
+	}
+	for _, s := range v.S {
+		if err := rc.Encode(w, s); err != nil {
+			return err
+		}
+	}
+	for _, q := range v.Q {
+		if err := rc.Encode(w, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one payload (nil for the zero flag).
+func (c RelCovarCodec) Decode(r io.Reader) (*RelCovar, error) {
+	flag, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if flag == 0 {
+		return nil, nil
+	}
+	out := c.Ring.One()
+	var rc RelValCodec
+	if out.C, err = rc.Decode(r); err != nil {
+		return nil, err
+	}
+	for i := range out.S {
+		if out.S[i], err = rc.Decode(r); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out.Q {
+		if out.Q[i], err = rc.Decode(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BufferedEncode wraps enc in a bufio.Writer for callers doing many
+// small writes; it flushes before returning.
+func BufferedEncode[V any](w io.Writer, c Codec[V], vs []V) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vs {
+		if err := c.Encode(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,145 @@
+package ring
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func roundTrip[V any](t *testing.T, c Codec[V], v V) V {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := c.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after decode", buf.Len())
+	}
+	return got
+}
+
+func TestIntCodec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 127, -128, math.MaxInt64, math.MinInt64} {
+		if got := roundTrip[int64](t, IntCodec{}, v); got != v {
+			t.Errorf("roundtrip(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestFloatCodec(t *testing.T) {
+	for _, v := range []float64{0, -0.0, 1.5, math.Inf(1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if got := roundTrip[float64](t, FloatCodec{}, v); got != v {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+	if got := roundTrip[float64](t, FloatCodec{}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN roundtrip = %v", got)
+	}
+}
+
+func TestRelValCodec(t *testing.T) {
+	cases := []RelVal{
+		nil,
+		{},
+		RelOne(),
+		{value.T("x").Encode(): 2.5, value.T(1, 2).Encode(): -1},
+	}
+	for _, v := range cases {
+		got := roundTrip[RelVal](t, RelValCodec{}, v)
+		if !got.Equal(v) {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+	// Empty maps normalize to nil.
+	if got := roundTrip[RelVal](t, RelValCodec{}, RelVal{}); got != nil {
+		t.Errorf("empty map decoded to %v, want nil", got)
+	}
+}
+
+func TestCovarCodec(t *testing.T) {
+	r := NewCovarRing(3)
+	c := CovarCodec{Ring: r}
+	gen := randCovar(3)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		v := gen(rng)
+		got := roundTrip[*Covar](t, c, v)
+		if v == nil {
+			if got != nil {
+				t.Errorf("nil decoded to %v", got)
+			}
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+	// Degree mismatch is rejected at encode time.
+	other := NewCovarRing(2).One()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, other); err == nil {
+		t.Error("cross-degree encode accepted")
+	}
+}
+
+func TestRelCovarCodec(t *testing.T) {
+	r := NewRelCovarRing(2)
+	c := RelCovarCodec{Ring: r}
+	gen := randRelCovar(2)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		v := gen(rng)
+		got := roundTrip[*RelCovar](t, c, v)
+		if v == nil {
+			if got != nil {
+				t.Errorf("nil decoded to %v", got)
+			}
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+	other := NewRelCovarRing(3).One()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, other); err == nil {
+		t.Error("cross-degree encode accepted")
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	r := NewCovarRing(2)
+	v := r.One()
+	v.S[0] = 5
+	var buf bytes.Buffer
+	if err := (CovarCodec{Ring: r}).Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < buf.Len(); cut++ {
+		if _, err := (CovarCodec{Ring: r}).Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncated payload (%d bytes) decoded", cut)
+		}
+	}
+}
+
+func TestBufferedEncode(t *testing.T) {
+	var buf bytes.Buffer
+	vals := []int64{1, 2, 3}
+	if err := BufferedEncode[int64](&buf, IntCodec{}, vals); err != nil {
+		t.Fatal(err)
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	for _, want := range vals {
+		got, err := (IntCodec{}).Decode(rd)
+		if err != nil || got != want {
+			t.Fatalf("decode = %d, %v; want %d", got, err, want)
+		}
+	}
+}

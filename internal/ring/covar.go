@@ -1,0 +1,236 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Covar is a value of the degree-m matrix ring over float64: the
+// compound aggregate (c, s, Q) where c is the count SUM(1), s is the
+// m-vector of SUM(X_i), and Q is the symmetric m×m matrix of
+// SUM(X_i * X_j). Q is stored as its packed upper triangle.
+//
+// A nil *Covar is the ring's zero. Covar values are immutable by
+// convention: ring operations allocate fresh results.
+type Covar struct {
+	m int
+	C float64
+	S []float64 // length m
+	Q []float64 // packed upper triangle, length m*(m+1)/2
+}
+
+// triLen returns the packed-triangle length for degree m.
+func triLen(m int) int { return m * (m + 1) / 2 }
+
+// triIndex returns the packed index of entry (i, j); callers must pass
+// i <= j.
+func triIndex(m, i, j int) int { return i*m - i*(i-1)/2 + (j - i) }
+
+// Degree returns the ring degree m.
+func (c *Covar) Degree() int { return c.m }
+
+// Count returns the scalar count aggregate c (0 for the nil zero).
+func (c *Covar) Count() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.C
+}
+
+// Sum returns SUM(X_i) (0 for the nil zero).
+func (c *Covar) Sum(i int) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.S[i]
+}
+
+// Prod returns SUM(X_i * X_j), exploiting symmetry for i > j. It returns
+// 0 for the nil zero.
+func (c *Covar) Prod(i, j int) float64 {
+	if c == nil {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return c.Q[triIndex(c.m, i, j)]
+}
+
+// Equal reports element-wise equality (nil equals an all-zero value of
+// any degree only if both are nil; callers compare within one ring).
+func (c *Covar) Equal(o *Covar) bool {
+	switch {
+	case c == nil && o == nil:
+		return true
+	case c == nil || o == nil:
+		return false
+	case c.m != o.m, c.C != o.C:
+		return false
+	}
+	for i := range c.S {
+		if c.S[i] != o.S[i] {
+			return false
+		}
+	}
+	for i := range c.Q {
+		if c.Q[i] != o.Q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the compound aggregate compactly, e.g.
+// "(3, [6 0 0], [14 0 0; 0 0; 0])".
+func (c *Covar) String() string {
+	if c == nil {
+		return "(0)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%v, [", value.Float(c.C))
+	for i, s := range c.S {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(value.Float(s).String())
+	}
+	b.WriteString("], [")
+	for i := 0; i < c.m; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := i; j < c.m; j++ {
+			if j > i {
+				b.WriteByte(' ')
+			}
+			b.WriteString(value.Float(c.Prod(i, j)).String())
+		}
+	}
+	b.WriteString("])")
+	return b.String()
+}
+
+// CovarRing is the degree-m matrix ring over float64 scalars.
+type CovarRing struct{ m int }
+
+// NewCovarRing returns the degree-m matrix ring. It panics for m <= 0.
+func NewCovarRing(m int) CovarRing {
+	if m <= 0 {
+		panic("ring: CovarRing degree must be positive")
+	}
+	return CovarRing{m: m}
+}
+
+// Degree returns m.
+func (r CovarRing) Degree() int { return r.m }
+
+// Zero returns nil, the additive identity.
+func (r CovarRing) Zero() *Covar { return nil }
+
+// One returns (1, 0, 0), the multiplicative identity.
+func (r CovarRing) One() *Covar {
+	return &Covar{m: r.m, C: 1, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+}
+
+// Add returns the element-wise sum. Either argument may be nil.
+func (r CovarRing) Add(a, b *Covar) *Covar {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := &Covar{m: r.m, C: a.C + b.C, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+	for i := range out.S {
+		out.S[i] = a.S[i] + b.S[i]
+	}
+	for i := range out.Q {
+		out.Q[i] = a.Q[i] + b.Q[i]
+	}
+	return out
+}
+
+// Mul returns the degree-m matrix ring product:
+//
+//	c = ca*cb
+//	s = cb*sa + ca*sb
+//	Q = cb*Qa + ca*Qb + sa sbᵀ + sb saᵀ
+func (r CovarRing) Mul(a, b *Covar) *Covar {
+	if a == nil || b == nil {
+		return nil
+	}
+	m := r.m
+	out := &Covar{m: m, C: a.C * b.C, S: make([]float64, m), Q: make([]float64, triLen(m))}
+	for i := 0; i < m; i++ {
+		out.S[i] = b.C*a.S[i] + a.C*b.S[i]
+	}
+	k := 0
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			out.Q[k] = b.C*a.Q[k] + a.C*b.Q[k] + a.S[i]*b.S[j] + b.S[i]*a.S[j]
+			k++
+		}
+	}
+	return out
+}
+
+// Neg returns the element-wise negation.
+func (r CovarRing) Neg(a *Covar) *Covar {
+	if a == nil {
+		return nil
+	}
+	out := &Covar{m: r.m, C: -a.C, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+	for i := range out.S {
+		out.S[i] = -a.S[i]
+	}
+	for i := range out.Q {
+		out.Q[i] = -a.Q[i]
+	}
+	return out
+}
+
+// IsZero reports whether a is nil or element-wise zero.
+func (r CovarRing) IsZero(a *Covar) bool {
+	if a == nil {
+		return true
+	}
+	if a.C != 0 {
+		return false
+	}
+	for _, v := range a.S {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range a.Q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lift returns the lift g_X for the continuous attribute at index idx:
+// g_X(x) = (1, s, Q) with s_idx = x and Q_idx,idx = x².
+func (r CovarRing) Lift(idx int) Lift[*Covar] {
+	if idx < 0 || idx >= r.m {
+		panic(fmt.Sprintf("ring: lift index %d out of range for degree %d", idx, r.m))
+	}
+	qi := triIndex(r.m, idx, idx)
+	return func(v value.Value) *Covar {
+		x := v.AsFloat()
+		c := r.One()
+		c.S[idx] = x
+		c.Q[qi] = x * x
+		return c
+	}
+}
+
+// LiftOne returns the lift g(x) = 1, for join attributes that contribute
+// no aggregate of their own.
+func (r CovarRing) LiftOne() Lift[*Covar] {
+	return func(value.Value) *Covar { return r.One() }
+}

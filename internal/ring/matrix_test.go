@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(n int) func(*rand.Rand) *Matrix {
+	r := NewMatrixRing(n)
+	return func(rng *rand.Rand) *Matrix {
+		if rng.Intn(8) == 0 {
+			return nil
+		}
+		m := r.New()
+		for i := range m.Data {
+			m.Data[i] = float64(rng.Intn(7) - 3)
+		}
+		return m
+	}
+}
+
+func TestMatrixRingAxioms(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		r := NewMatrixRing(n)
+		checkRingAxioms[*Matrix](t, "Matrix", r, randMatrix(n),
+			func(a, b *Matrix) bool {
+				if r.IsZero(a) && r.IsZero(b) {
+					return true
+				}
+				return a.Equal(b)
+			})
+	}
+}
+
+func TestMatrixMulKnownProduct(t *testing.T) {
+	r := NewMatrixRing(2)
+	a := r.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := r.FromRows([][]float64{{5, 6}, {7, 8}})
+	ab := r.Mul(a, b)
+	want := r.FromRows([][]float64{{19, 22}, {43, 50}})
+	if !ab.Equal(want) {
+		t.Errorf("a·b = %v, want %v", ab, want)
+	}
+	// Non-commutativity.
+	ba := r.Mul(b, a)
+	if ab.Equal(ba) {
+		t.Error("matrix product unexpectedly commutative")
+	}
+}
+
+func TestMatrixIdentityAndZero(t *testing.T) {
+	r := NewMatrixRing(3)
+	gen := randMatrix(3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		a := gen(rng)
+		if !r.Mul(a, r.One()).Equal(a) && !(r.IsZero(a) && r.IsZero(r.Mul(a, r.One()))) {
+			t.Fatalf("a·I != a for %v", a)
+		}
+		if !r.IsZero(r.Add(a, r.Neg(a))) {
+			t.Fatalf("a + (-a) != 0 for %v", a)
+		}
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	r := NewMatrixRing(2)
+	m := r.FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Dim() != 2 || m.At(1, 0) != 3 {
+		t.Errorf("accessors: dim=%d At(1,0)=%v", m.Dim(), m.At(1, 0))
+	}
+	var nilM *Matrix
+	if nilM.At(0, 0) != 0 {
+		t.Error("nil At != 0")
+	}
+	if nilM.String() != "[0]" {
+		t.Error("nil String")
+	}
+	if got := m.String(); got != "[1 2; 3 4]" {
+		t.Errorf("String = %q", got)
+	}
+	if m.Equal(nilM) || nilM.Equal(m) {
+		t.Error("nil equality")
+	}
+	if m.Equal(NewMatrixRing(3).One()) {
+		t.Error("cross-dimension equality")
+	}
+}
+
+func TestMatrixConstructionPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMatrixRing(0) },
+		func() { NewMatrixRing(2).FromRows([][]float64{{1}}) },
+		func() { NewMatrixRing(2).FromRows([][]float64{{1}, {2, 3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,275 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// RangedCovar is the payload of the ranged degree-m matrix ring: a
+// compound aggregate (c, s, Q) covering only the contiguous index range
+// [Start, Start+N) of the query's aggregate attributes. This is the
+// `RingCofactor<double, idx, cnt>` of the paper's Figure 2d: a view deep
+// in the tree carries aggregates only for the attributes of its own
+// subtree, so leaf payloads are tiny and grow as they travel toward the
+// root — a large constant-factor win over carrying the full degree
+// everywhere.
+//
+// Products require the operand ranges to be adjacent (the engine
+// guarantees this by assigning lift indexes in the view tree's
+// structural order); sums require identical ranges. Violations panic:
+// they are index-assignment bugs, not data errors.
+//
+// A nil *RangedCovar is the ring's zero. One() covers the empty range
+// with scalar 1.
+type RangedCovar struct {
+	Start int
+	N     int
+	C     float64
+	S     []float64 // length N
+	Q     []float64 // packed upper triangle, length N*(N+1)/2
+}
+
+// Count returns the scalar count component (0 for nil).
+func (c *RangedCovar) Count() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.C
+}
+
+// Sum returns SUM(X_g) for the global aggregate index g, which must lie
+// inside the payload's range; out-of-range reads return 0 (those
+// aggregates are simply not carried here).
+func (c *RangedCovar) Sum(g int) float64 {
+	if c == nil || g < c.Start || g >= c.Start+c.N {
+		return 0
+	}
+	return c.S[g-c.Start]
+}
+
+// Prod returns SUM(X_g * X_h) for global indexes g, h within the range
+// (0 outside).
+func (c *RangedCovar) Prod(g, h int) float64 {
+	if c == nil {
+		return 0
+	}
+	if g > h {
+		g, h = h, g
+	}
+	if g < c.Start || h >= c.Start+c.N {
+		return 0
+	}
+	return c.Q[triIndex(c.N, g-c.Start, h-c.Start)]
+}
+
+// Equal reports element-wise equality including the range.
+func (c *RangedCovar) Equal(o *RangedCovar) bool {
+	cz, oz := c == nil, o == nil
+	if cz || oz {
+		return cz == oz
+	}
+	if c.Start != o.Start || c.N != o.N || c.C != o.C {
+		return false
+	}
+	for i := range c.S {
+		if c.S[i] != o.S[i] {
+			return false
+		}
+	}
+	for i := range c.Q {
+		if c.Q[i] != o.Q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the payload with its range, e.g. "<2,3>(c, s, Q)".
+func (c *RangedCovar) String() string {
+	if c == nil {
+		return "(0)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%d,%d>(%v, [", c.Start, c.N, value.Float(c.C))
+	for i, s := range c.S {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(value.Float(s).String())
+	}
+	b.WriteString("], [")
+	for i := 0; i < c.N; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := i; j < c.N; j++ {
+			if j > i {
+				b.WriteByte(' ')
+			}
+			b.WriteString(value.Float(c.Q[triIndex(c.N, i, j)]).String())
+		}
+	}
+	b.WriteString("])")
+	return b.String()
+}
+
+// ToCovar widens the payload to a full degree-total Covar (the form the
+// ml package consumes); total must cover the payload's range.
+func (c *RangedCovar) ToCovar(total int) (*Covar, error) {
+	if c == nil {
+		return nil, nil
+	}
+	if c.Start+c.N > total {
+		return nil, fmt.Errorf("ring: range [%d,%d) exceeds total degree %d", c.Start, c.Start+c.N, total)
+	}
+	out := &Covar{m: total, C: c.C, S: make([]float64, total), Q: make([]float64, triLen(total))}
+	copy(out.S[c.Start:], c.S)
+	for i := 0; i < c.N; i++ {
+		for j := i; j < c.N; j++ {
+			out.Q[triIndex(total, c.Start+i, c.Start+j)] = c.Q[triIndex(c.N, i, j)]
+		}
+	}
+	return out, nil
+}
+
+// RangedCovarRing is the ranged degree-m matrix ring. The ring itself is
+// degree-free: each payload carries its own range.
+type RangedCovarRing struct{}
+
+// Zero returns nil.
+func (RangedCovarRing) Zero() *RangedCovar { return nil }
+
+// One returns the scalar 1 over the empty range.
+func (RangedCovarRing) One() *RangedCovar { return &RangedCovar{C: 1} }
+
+// Add returns the element-wise sum; the ranges must match.
+func (RangedCovarRing) Add(a, b *RangedCovar) *RangedCovar {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.Start != b.Start || a.N != b.N {
+		// Adding a pure scalar (N=0) is allowed regardless of the other
+		// range only when the scalar is a true zero-extension; in the
+		// view engine this never happens, so reject loudly.
+		panic(fmt.Sprintf("ring: adding ranged payloads [%d,%d) and [%d,%d)",
+			a.Start, a.Start+a.N, b.Start, b.Start+b.N))
+	}
+	out := &RangedCovar{Start: a.Start, N: a.N, C: a.C + b.C,
+		S: make([]float64, a.N), Q: make([]float64, triLen(a.N))}
+	for i := range out.S {
+		out.S[i] = a.S[i] + b.S[i]
+	}
+	for i := range out.Q {
+		out.Q[i] = a.Q[i] + b.Q[i]
+	}
+	return out
+}
+
+// Mul returns the product over the union range. The operand ranges must
+// be adjacent (either may be empty); the result's blocks are
+//
+//	c = ca·cb
+//	s = [cb·sa | ca·sb]            (in index order)
+//	Q = [cb·Qa | sa sbᵀ | ca·Qb]   (lo×lo, lo×hi, hi×hi blocks)
+func (RangedCovarRing) Mul(a, b *RangedCovar) *RangedCovar {
+	if a == nil || b == nil {
+		return nil
+	}
+	lo, hi := a, b
+	loScale, hiScale := b.C, a.C // scale of lo's own blocks is the other's count
+	if b.N > 0 && (a.N == 0 || b.Start < a.Start) {
+		lo, hi = b, a
+		loScale, hiScale = a.C, b.C
+	}
+	if lo.N > 0 && hi.N > 0 && lo.Start+lo.N != hi.Start {
+		panic(fmt.Sprintf("ring: multiplying non-adjacent ranges [%d,%d) and [%d,%d)",
+			lo.Start, lo.Start+lo.N, hi.Start, hi.Start+hi.N))
+	}
+	start := lo.Start
+	if lo.N == 0 {
+		start = hi.Start
+	}
+	n := lo.N + hi.N
+	out := &RangedCovar{Start: start, N: n, C: a.C * b.C,
+		S: make([]float64, n), Q: make([]float64, triLen(n))}
+	for i := 0; i < lo.N; i++ {
+		out.S[i] = loScale * lo.S[i]
+	}
+	for i := 0; i < hi.N; i++ {
+		out.S[lo.N+i] = hiScale * hi.S[i]
+	}
+	// lo×lo block.
+	for i := 0; i < lo.N; i++ {
+		for j := i; j < lo.N; j++ {
+			out.Q[triIndex(n, i, j)] = loScale * lo.Q[triIndex(lo.N, i, j)]
+		}
+	}
+	// hi×hi block.
+	for i := 0; i < hi.N; i++ {
+		for j := i; j < hi.N; j++ {
+			out.Q[triIndex(n, lo.N+i, lo.N+j)] = hiScale * hi.Q[triIndex(hi.N, i, j)]
+		}
+	}
+	// Cross block: s_lo s_hiᵀ (the symmetric term lands in the same
+	// packed cell).
+	for i := 0; i < lo.N; i++ {
+		for j := 0; j < hi.N; j++ {
+			out.Q[triIndex(n, i, lo.N+j)] = lo.S[i] * hi.S[j]
+		}
+	}
+	return out
+}
+
+// Neg returns the element-wise negation.
+func (RangedCovarRing) Neg(a *RangedCovar) *RangedCovar {
+	if a == nil {
+		return nil
+	}
+	out := &RangedCovar{Start: a.Start, N: a.N, C: -a.C,
+		S: make([]float64, a.N), Q: make([]float64, triLen(a.N))}
+	for i := range out.S {
+		out.S[i] = -a.S[i]
+	}
+	for i := range out.Q {
+		out.Q[i] = -a.Q[i]
+	}
+	return out
+}
+
+// IsZero reports whether a is nil or element-wise zero.
+func (RangedCovarRing) IsZero(a *RangedCovar) bool {
+	if a == nil {
+		return true
+	}
+	if a.C != 0 {
+		return false
+	}
+	for _, v := range a.S {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range a.Q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lift returns g_X for the attribute at global aggregate index idx:
+// a single-index payload (1, [x], [x²]).
+func (RangedCovarRing) Lift(idx int) Lift[*RangedCovar] {
+	if idx < 0 {
+		panic("ring: negative lift index")
+	}
+	return func(v value.Value) *RangedCovar {
+		x := v.AsFloat()
+		return &RangedCovar{Start: idx, N: 1, C: 1, S: []float64{x}, Q: []float64{x * x}}
+	}
+}

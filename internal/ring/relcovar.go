@@ -1,0 +1,296 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// RelCovar is a value of the generalized degree-m matrix ring: the
+// compound aggregate (c, s, Q) whose entries are relational values
+// instead of scalars. Continuous attributes store 0-dimensional
+// relations ({() -> v}); categorical attributes store their one-hot
+// encoding compactly as {x -> 1} tensors, so Q_XY entries are 0-, 1-, or
+// 2-dimensional tensors exactly as color-coded in the paper's UI.
+//
+// Q is stored as its packed upper triangle, with tuple keys ordered
+// (X_i-part, X_j-part) for i <= j. A nil *RelCovar is the ring's zero;
+// nil RelVal entries are relational zeros.
+type RelCovar struct {
+	m int
+	C RelVal
+	S []RelVal // length m
+	Q []RelVal // packed upper triangle, length m*(m+1)/2
+}
+
+// Degree returns the ring degree m.
+func (c *RelCovar) Degree() int { return c.m }
+
+// Count returns the count component (nil for the ring zero).
+func (c *RelCovar) Count() RelVal {
+	if c == nil {
+		return nil
+	}
+	return c.C
+}
+
+// Sum returns the i-th vector component.
+func (c *RelCovar) Sum(i int) RelVal {
+	if c == nil {
+		return nil
+	}
+	return c.S[i]
+}
+
+// Prod returns the (i, j) matrix component. For i > j it returns the
+// stored (j, i) entry, whose tuple keys are ordered with the j-part
+// first; callers that need attribute-labelled tuples should query with
+// i <= j.
+func (c *RelCovar) Prod(i, j int) RelVal {
+	if c == nil {
+		return nil
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return c.Q[triIndex(c.m, i, j)]
+}
+
+// Equal reports element-wise equality of two values from the same ring.
+func (c *RelCovar) Equal(o *RelCovar) bool {
+	cz, oz := c == nil, o == nil
+	if cz || oz {
+		return cz == oz
+	}
+	if c.m != o.m || !c.C.Equal(o.C) {
+		return false
+	}
+	for i := range c.S {
+		if !c.S[i].Equal(o.S[i]) {
+			return false
+		}
+	}
+	for i := range c.Q {
+		if !c.Q[i].Equal(o.Q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the compound aggregate with relational entries.
+func (c *RelCovar) String() string {
+	if c == nil {
+		return "(0)"
+	}
+	var b strings.Builder
+	b.WriteString("(" + c.C.String() + ", [")
+	for i, s := range c.S {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString("], [")
+	for i := 0; i < c.m; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := i; j < c.m; j++ {
+			if j > i {
+				b.WriteByte(' ')
+			}
+			b.WriteString(c.Prod(i, j).String())
+		}
+	}
+	b.WriteString("])")
+	return b.String()
+}
+
+// RelCovarRing is the degree-m matrix ring with relational values: the
+// composition of the degree-m matrix ring with the relational ring that
+// unifies continuous and categorical attributes.
+type RelCovarRing struct{ m int }
+
+// NewRelCovarRing returns the generalized degree-m matrix ring. It
+// panics for m <= 0.
+func NewRelCovarRing(m int) RelCovarRing {
+	if m <= 0 {
+		panic("ring: RelCovarRing degree must be positive")
+	}
+	return RelCovarRing{m: m}
+}
+
+// Degree returns m.
+func (r RelCovarRing) Degree() int { return r.m }
+
+// Zero returns nil, the additive identity.
+func (r RelCovarRing) Zero() *RelCovar { return nil }
+
+// One returns ({() -> 1}, 0-vector, 0-matrix) where 0 is the empty
+// relation.
+func (r RelCovarRing) One() *RelCovar {
+	return &RelCovar{m: r.m, C: RelOne(), S: make([]RelVal, r.m), Q: make([]RelVal, triLen(r.m))}
+}
+
+// Add returns the element-wise relational union.
+func (r RelCovarRing) Add(a, b *RelCovar) *RelCovar {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	var rel Relational
+	out := &RelCovar{m: r.m, C: rel.Add(a.C, b.C), S: make([]RelVal, r.m), Q: make([]RelVal, triLen(r.m))}
+	for i := range out.S {
+		out.S[i] = rel.Add(a.S[i], b.S[i])
+	}
+	for i := range out.Q {
+		out.Q[i] = rel.Add(a.Q[i], b.Q[i])
+	}
+	return out
+}
+
+// Mul returns the product with the degree-m matrix ring formulas, where
+// scalar +/× are relational union/join:
+//
+//	c = ca × cb
+//	s_i = cb × sa_i + ca × sb_i
+//	Q_ij = cb × Qa_ij + ca × Qb_ij + sa_i × sb_j + sb_i × sa_j
+//
+// Tuple keys inside Q_ij keep the X_i-part first; since the count
+// component always has schema ∅ (its only tuple is the empty one),
+// multiplying by c never perturbs key order.
+func (r RelCovarRing) Mul(a, b *RelCovar) *RelCovar {
+	if a == nil || b == nil {
+		return nil
+	}
+	m := r.m
+	out := &RelCovar{m: m, S: make([]RelVal, m), Q: make([]RelVal, triLen(m))}
+	// The counts are 0-dimensional; use their scalars for cheap scaling.
+	ca, cb := a.C.Scalar(), b.C.Scalar()
+	out.C = RelVal{"": ca * cb}
+	if ca*cb == 0 {
+		out.C = nil
+	}
+	for i := 0; i < m; i++ {
+		s := relAddInto(nil, a.S[i], cb)
+		s = relAddInto(s, b.S[i], ca)
+		out.S[i] = s
+	}
+	k := 0
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			q := relAddInto(nil, a.Q[k], cb)
+			q = relAddInto(q, b.Q[k], ca)
+			q = relMulInto(q, a.S[i], b.S[j], 1)
+			q = relMulInto(q, b.S[i], a.S[j], 1)
+			if len(q) == 0 {
+				q = nil
+			}
+			out.Q[k] = q
+			k++
+		}
+	}
+	return out
+}
+
+// Neg negates every relational coefficient.
+func (r RelCovarRing) Neg(a *RelCovar) *RelCovar {
+	if a == nil {
+		return nil
+	}
+	var rel Relational
+	out := &RelCovar{m: r.m, C: rel.Neg(a.C), S: make([]RelVal, r.m), Q: make([]RelVal, triLen(r.m))}
+	for i := range out.S {
+		out.S[i] = rel.Neg(a.S[i])
+	}
+	for i := range out.Q {
+		out.Q[i] = rel.Neg(a.Q[i])
+	}
+	return out
+}
+
+// IsZero reports whether every component is the empty relation.
+func (r RelCovarRing) IsZero(a *RelCovar) bool {
+	if a == nil {
+		return true
+	}
+	if len(a.C) != 0 {
+		return false
+	}
+	for _, s := range a.S {
+		if len(s) != 0 {
+			return false
+		}
+	}
+	for _, q := range a.Q {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LiftContinuous returns g_X for a continuous attribute at index idx:
+// s_idx = {() -> x}, Q_idx,idx = {() -> x²}.
+func (r RelCovarRing) LiftContinuous(idx int) Lift[*RelCovar] {
+	r.checkIdx(idx)
+	qi := triIndex(r.m, idx, idx)
+	return func(v value.Value) *RelCovar {
+		x := v.AsFloat()
+		c := r.One()
+		c.S[idx] = RelVal{"": x}
+		c.Q[qi] = RelVal{"": x * x}
+		return c
+	}
+}
+
+// LiftCategorical returns g_X for a categorical attribute at index idx:
+// s_idx = {x -> 1}, Q_idx,idx = {x -> 1} — the compact one-hot encoding.
+func (r RelCovarRing) LiftCategorical(idx int) Lift[*RelCovar] {
+	r.checkIdx(idx)
+	qi := triIndex(r.m, idx, idx)
+	return func(v value.Value) *RelCovar {
+		key := value.Tuple{v}.Encode()
+		c := r.One()
+		c.S[idx] = RelVal{key: 1}
+		c.Q[qi] = RelVal{key: 1}
+		return c
+	}
+}
+
+// LiftBinned returns g_X for a continuous attribute treated as
+// categorical by discretizing into equi-width bins of the given width;
+// mutual information over continuous attributes uses it.
+func (r RelCovarRing) LiftBinned(idx int, width float64) Lift[*RelCovar] {
+	r.checkIdx(idx)
+	if width <= 0 {
+		panic("ring: bin width must be positive")
+	}
+	qi := triIndex(r.m, idx, idx)
+	return func(v value.Value) *RelCovar {
+		bin := int64(v.AsFloat() / width)
+		if v.AsFloat() < 0 {
+			bin--
+		}
+		key := value.Tuple{value.Int(bin)}.Encode()
+		c := r.One()
+		c.S[idx] = RelVal{key: 1}
+		c.Q[qi] = RelVal{key: 1}
+		return c
+	}
+}
+
+// LiftOne returns g(x) = 1 for join attributes outside the aggregate.
+func (r RelCovarRing) LiftOne() Lift[*RelCovar] {
+	return func(value.Value) *RelCovar { return r.One() }
+}
+
+func (r RelCovarRing) checkIdx(idx int) {
+	if idx < 0 || idx >= r.m {
+		panic(fmt.Sprintf("ring: lift index %d out of range for degree %d", idx, r.m))
+	}
+}

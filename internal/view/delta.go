@@ -1,0 +1,159 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Update is one tuple-level change to an input relation: Mult > 0
+// inserts the tuple Mult times, Mult < 0 deletes it.
+type Update struct {
+	Rel   string
+	Tuple value.Tuple
+	Mult  int
+}
+
+// ApplyDelta applies a delta relation (tuples with ring payloads;
+// negative payloads are deletes) to input relation name and propagates
+// it along the leaf-to-root path, maintaining every view on the way and
+// the query result at the top. This is the paper's maintenance
+// mechanism: at each node the delta joins the materialized views of the
+// node's other children and the full contents of its other anchored
+// relations, then marginalizes the node's variable.
+func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
+	src, ok := t.sources[name]
+	if !ok {
+		return fmt.Errorf("view: unknown relation %s", name)
+	}
+	if !delta.Schema().Equal(src.schema) {
+		return fmt.Errorf("view: delta schema %v does not match %s schema %v", delta.Schema(), name, src.schema)
+	}
+	t.stats.Updates++
+	if delta.Len() == 0 {
+		return nil
+	}
+
+	n := src.anchor
+	// δV at the anchor: join the delta with the node's other operands.
+	d := t.evalNode(n, n.parts(src.data, delta))
+	src.data.MergeAll(t.ring, delta)
+	t.stats.DeltaTuples += delta.Len()
+
+	// Walk to the root, at each step joining the child's delta view with
+	// the parent's other operands.
+	for {
+		n.view.MergeAll(t.ring, d)
+		t.stats.DeltaTuples += d.Len()
+		p := n.parent
+		if p == nil {
+			break
+		}
+		if d.Len() == 0 {
+			return nil // the delta cancelled out; nothing to propagate
+		}
+		d = t.evalNode(p, p.parts(n.view, d))
+		n = p
+	}
+
+	// n is now a root. Propagate into the query result, joining with the
+	// other root views (for disconnected queries).
+	if d.Len() == 0 {
+		return nil
+	}
+	dres := d
+	for _, r := range t.roots {
+		if r != n {
+			dres = relation.Join(t.ring, dres, r.view)
+		}
+	}
+	dres = relation.Aggregate(t.ring, dres, t.result.Schema(), "", nil)
+	t.result.MergeAll(t.ring, dres)
+	t.stats.DeltaTuples += dres.Len()
+	return nil
+}
+
+// ApplyUpdates groups tuple-level updates by relation and applies one
+// delta per relation, in first-appearance order. This is the bulk-update
+// entry point used by the demo scenarios (e.g. bulks of 10K updates).
+func (t *Tree[V]) ApplyUpdates(ups []Update) error {
+	order := make([]string, 0, 4)
+	deltas := make(map[string]*relation.Map[V], 4)
+	one := t.ring.One()
+	negOne := t.ring.Neg(one)
+	for _, u := range ups {
+		d, ok := deltas[u.Rel]
+		if !ok {
+			src, ok := t.sources[u.Rel]
+			if !ok {
+				return fmt.Errorf("view: unknown relation %s", u.Rel)
+			}
+			d = relation.New[V](src.schema)
+			deltas[u.Rel] = d
+			order = append(order, u.Rel)
+		}
+		p := one
+		reps := u.Mult
+		if reps < 0 {
+			p = negOne
+			reps = -reps
+		}
+		for i := 0; i < reps; i++ {
+			d.Merge(t.ring, u.Tuple, p)
+		}
+	}
+	for _, name := range order {
+		if err := t.ApplyDelta(name, deltas[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert is a convenience wrapper applying single-tuple inserts to one
+// relation.
+func (t *Tree[V]) Insert(rel string, tuples ...value.Tuple) error {
+	ups := make([]Update, len(tuples))
+	for i, tp := range tuples {
+		ups[i] = Update{Rel: rel, Tuple: tp, Mult: 1}
+	}
+	return t.ApplyUpdates(ups)
+}
+
+// Delete is a convenience wrapper applying single-tuple deletes to one
+// relation.
+func (t *Tree[V]) Delete(rel string, tuples ...value.Tuple) error {
+	ups := make([]Update, len(tuples))
+	for i, tp := range tuples {
+		ups[i] = Update{Rel: rel, Tuple: tp, Mult: -1}
+	}
+	return t.ApplyUpdates(ups)
+}
+
+// DeltaFor builds a delta relation for rel from (tuple, multiplicity)
+// pairs, for callers that want to drive ApplyDelta directly.
+func (t *Tree[V]) DeltaFor(rel string, ups []Update) (*relation.Map[V], error) {
+	src, ok := t.sources[rel]
+	if !ok {
+		return nil, fmt.Errorf("view: unknown relation %s", rel)
+	}
+	d := relation.New[V](src.schema)
+	one := t.ring.One()
+	negOne := t.ring.Neg(one)
+	for _, u := range ups {
+		if u.Rel != rel {
+			return nil, fmt.Errorf("view: DeltaFor(%s) got update for %s", rel, u.Rel)
+		}
+		p := one
+		reps := u.Mult
+		if reps < 0 {
+			p = negOne
+			reps = -reps
+		}
+		for i := 0; i < reps; i++ {
+			d.Merge(t.ring, u.Tuple, p)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,350 @@
+// Package view implements F-IVM's core contribution: view trees over
+// variable orders that maintain batches of ring-valued aggregates over
+// project-join queries under inserts and deletes.
+//
+// A Tree is built from (relations, variable order, ring, lift functions).
+// Leaves are the input relations; each variable-order node owns a view
+// grouped by its dependency set, defined as the join of its children
+// followed by marginalizing the node's variable — multiplying each tuple
+// payload by the variable's lift function while summing it away. Updates
+// to a relation propagate along the leaf-to-root path with delta
+// processing against the materialized sibling views.
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/vo"
+)
+
+// Spec configures a view tree.
+type Spec[V any] struct {
+	// Ring supplies the payload operations.
+	Ring ring.Ring[V]
+	// Order is the variable order; build one with vo.Build or supply a
+	// hand-crafted one (it is validated).
+	Order *vo.Order
+	// Relations lists the input relations (must match the order's
+	// anchored relations).
+	Relations []vo.Rel
+	// Lifts maps a variable to its lift function g_X, applied when the
+	// variable is marginalized. Variables without an entry are summed
+	// away without payload contribution (g_X = 1).
+	Lifts map[string]ring.Lift[V]
+	// Free lists the group-by variables of the query: they are kept as
+	// keys of the result instead of being marginalized.
+	Free []string
+}
+
+// Node is one materialized view of the tree. Exported read-only through
+// accessor methods for inspection, tests, and the M3 printer.
+type Node[V any] struct {
+	vn       *vo.Node
+	parent   *Node[V]
+	children []*Node[V]
+	rels     []*source[V]
+	keys     value.Schema // group-by schema of this node's view
+	free     bool         // whether vn.Var is a group-by variable
+	view     *relation.Map[V]
+}
+
+// Var returns the variable this node marginalizes.
+func (n *Node[V]) Var() string { return n.vn.Var }
+
+// Keys returns the view's group-by schema.
+func (n *Node[V]) Keys() value.Schema { return n.keys }
+
+// Children returns the child nodes.
+func (n *Node[V]) Children() []*Node[V] { return n.children }
+
+// RelNames returns the names of relations anchored at this node.
+func (n *Node[V]) RelNames() []string {
+	out := make([]string, len(n.rels))
+	for i, s := range n.rels {
+		out[i] = s.name
+	}
+	return out
+}
+
+// View returns the materialized view relation. Callers must not mutate
+// it.
+func (n *Node[V]) View() *relation.Map[V] { return n.view }
+
+type source[V any] struct {
+	name   string
+	schema value.Schema
+	data   *relation.Map[V]
+	anchor *Node[V]
+}
+
+// Tree is a materialized view tree. It is not safe for concurrent use.
+type Tree[V any] struct {
+	ring    ring.Ring[V]
+	order   *vo.Order
+	roots   []*Node[V]
+	sources map[string]*source[V]
+	lifts   map[string]ring.Lift[V]
+	free    value.Schema
+	result  *relation.Map[V]
+	stats   Stats
+}
+
+// Stats counts maintenance work; useful for benchmarks and ablations.
+type Stats struct {
+	// Updates is the number of ApplyDelta calls.
+	Updates int
+	// DeltaTuples is the total number of delta tuples merged into views.
+	DeltaTuples int
+}
+
+// New builds a view tree. The order is validated against the relations;
+// free variables must exist in the order.
+func New[V any](spec Spec[V]) (*Tree[V], error) {
+	if spec.Ring == nil {
+		return nil, fmt.Errorf("view: nil ring")
+	}
+	if spec.Order == nil {
+		ord, err := vo.Build(spec.Relations)
+		if err != nil {
+			return nil, err
+		}
+		spec.Order = ord
+	}
+	if err := vo.Validate(spec.Order, spec.Relations); err != nil {
+		return nil, err
+	}
+	t := &Tree[V]{
+		ring:    spec.Ring,
+		order:   spec.Order,
+		sources: make(map[string]*source[V]),
+		lifts:   spec.Lifts,
+		free:    value.NewSchema(spec.Free...),
+	}
+	if t.lifts == nil {
+		t.lifts = map[string]ring.Lift[V]{}
+	}
+	allVars := map[string]bool{}
+	for _, root := range spec.Order.Roots {
+		for _, v := range root.Vars() {
+			allVars[v] = true
+		}
+	}
+	for _, f := range spec.Free {
+		if !allVars[f] {
+			return nil, fmt.Errorf("view: free variable %s not in the variable order", f)
+		}
+	}
+	for v := range t.lifts {
+		if !allVars[v] {
+			return nil, fmt.Errorf("view: lift for unknown variable %s", v)
+		}
+	}
+	for _, r := range spec.Relations {
+		if _, dup := t.sources[r.Name]; dup {
+			return nil, fmt.Errorf("view: duplicate relation %s", r.Name)
+		}
+		t.sources[r.Name] = &source[V]{
+			name:   r.Name,
+			schema: r.Schema,
+			data:   relation.New[V](r.Schema),
+		}
+	}
+	for _, root := range spec.Order.Roots {
+		t.roots = append(t.roots, t.buildNode(root, nil))
+	}
+	t.result = relation.New[V](t.resultSchema())
+	return t, nil
+}
+
+func (t *Tree[V]) buildNode(vn *vo.Node, parent *Node[V]) *Node[V] {
+	n := &Node[V]{vn: vn, parent: parent, free: t.free.Has(vn.Var)}
+	for _, c := range vn.Children {
+		n.children = append(n.children, t.buildNode(c, n))
+	}
+	for _, r := range vn.Rels {
+		src := t.sources[r.Name]
+		src.anchor = n
+		n.rels = append(n.rels, src)
+	}
+	// The view keys are the dependency set plus any free variables of
+	// the subtree (including this node's own variable when free), which
+	// must be kept as keys up to the root.
+	keys := vn.Keys
+	if n.free {
+		keys = keys.Union(value.NewSchema(vn.Var))
+	}
+	for _, c := range n.children {
+		keys = keys.Union(c.keys.Intersect(t.free))
+	}
+	n.keys = keys
+	n.view = relation.New[V](keys)
+	return n
+}
+
+func (t *Tree[V]) resultSchema() value.Schema {
+	s := value.NewSchema()
+	for _, r := range t.roots {
+		s = s.Union(r.keys)
+	}
+	return s
+}
+
+// Ring returns the tree's ring.
+func (t *Tree[V]) Ring() ring.Ring[V] { return t.ring }
+
+// Order returns the underlying variable order.
+func (t *Tree[V]) Order() *vo.Order { return t.order }
+
+// Roots returns the root nodes of the view forest.
+func (t *Tree[V]) Roots() []*Node[V] { return t.roots }
+
+// Lift returns the lift function registered for variable v (nil when
+// none).
+func (t *Tree[V]) Lift(v string) ring.Lift[V] { return t.lifts[v] }
+
+// Source returns the current contents of input relation name. Callers
+// must not mutate it.
+func (t *Tree[V]) Source(name string) (*relation.Map[V], bool) {
+	s, ok := t.sources[name]
+	if !ok {
+		return nil, false
+	}
+	return s.data, true
+}
+
+// RelationNames returns the input relation names, sorted.
+func (t *Tree[V]) RelationNames() []string {
+	out := make([]string, 0, len(t.sources))
+	for n := range t.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result returns the maintained query result: a relation keyed by the
+// free (group-by) variables. For queries without group-by the key schema
+// is empty and the single payload is at the empty tuple.
+func (t *Tree[V]) Result() *relation.Map[V] { return t.result }
+
+// ResultPayload returns the payload of the empty key, i.e. the full
+// aggregate of a query without group-by; it returns the ring zero when
+// the result is empty.
+func (t *Tree[V]) ResultPayload() V {
+	return t.result.GetOr(value.Tuple{}, t.ring.Zero())
+}
+
+// Stats returns maintenance counters accumulated so far.
+func (t *Tree[V]) Stats() Stats { return t.stats }
+
+// parts returns the operand relations joined at node n: children views
+// then anchored relations, with exclude (a child view or source data)
+// replaced by repl when non-nil.
+func (n *Node[V]) parts(exclude, repl *relation.Map[V]) []*relation.Map[V] {
+	out := make([]*relation.Map[V], 0, len(n.children)+len(n.rels))
+	for _, c := range n.children {
+		if c.view == exclude {
+			out = append(out, repl)
+		} else {
+			out = append(out, c.view)
+		}
+	}
+	for _, r := range n.rels {
+		if r.data == exclude {
+			out = append(out, repl)
+		} else {
+			out = append(out, r.data)
+		}
+	}
+	return out
+}
+
+// evalNode computes the node's view contents from the given parts:
+// join them all, then marginalize the node's variable (unless free),
+// multiplying by its lift.
+func (t *Tree[V]) evalNode(n *Node[V], parts []*relation.Map[V]) *relation.Map[V] {
+	if len(parts) == 0 {
+		return relation.New[V](n.keys)
+	}
+	j := parts[0]
+	for _, p := range parts[1:] {
+		j = relation.Join(t.ring, j, p)
+	}
+	var lift ring.Lift[V]
+	liftAttr := ""
+	if lf, ok := t.lifts[n.vn.Var]; ok && j.Schema().Has(n.vn.Var) {
+		lift, liftAttr = lf, n.vn.Var
+	}
+	return relation.Aggregate(t.ring, j, n.keys, liftAttr, lift)
+}
+
+// refresh recomputes the subtree bottom-up from current sources; used by
+// bulk initialization.
+func (t *Tree[V]) refresh(n *Node[V]) {
+	for _, c := range n.children {
+		t.refresh(c)
+	}
+	n.view = t.evalNode(n, n.parts(nil, nil))
+}
+
+// recomputeResult rebuilds the root result from the root views.
+func (t *Tree[V]) recomputeResult() {
+	res := t.roots[0].view
+	for _, r := range t.roots[1:] {
+		res = relation.Join(t.ring, res, r.view)
+	}
+	t.result = relation.Aggregate(t.ring, res, t.resultSchema(), "", nil)
+}
+
+// Init bulk-loads the given tuples (payload One each, duplicates
+// accumulate) into the sources and evaluates every view bottom-up. Any
+// previous contents are discarded.
+func (t *Tree[V]) Init(data map[string][]value.Tuple) error {
+	for name := range data {
+		if _, ok := t.sources[name]; !ok {
+			return fmt.Errorf("view: Init: unknown relation %s", name)
+		}
+	}
+	for _, s := range t.sources {
+		s.data = relation.FromTuples(t.ring, s.schema, data[s.name])
+	}
+	for _, r := range t.roots {
+		t.refresh(r)
+	}
+	t.recomputeResult()
+	return nil
+}
+
+// InitWeighted bulk-loads relations whose tuples carry explicit ring
+// payloads (rather than multiplicity One). This is how non-counting
+// interpretations load data — e.g. matrix chain multiplication stores
+// matrix entries as the payloads of index tuples. Relations absent from
+// data start empty. Any previous contents are discarded; the given
+// relations are cloned, not aliased.
+func (t *Tree[V]) InitWeighted(data map[string]*relation.Map[V]) error {
+	for name, m := range data {
+		s, ok := t.sources[name]
+		if !ok {
+			return fmt.Errorf("view: InitWeighted: unknown relation %s", name)
+		}
+		if !m.Schema().Equal(s.schema) {
+			return fmt.Errorf("view: InitWeighted: relation %s has schema %v, want %v", name, m.Schema(), s.schema)
+		}
+	}
+	for _, s := range t.sources {
+		if m, ok := data[s.name]; ok {
+			s.data = m.Clone()
+		} else {
+			s.data = relation.New[V](s.schema)
+		}
+	}
+	for _, r := range t.roots {
+		t.refresh(r)
+	}
+	t.recomputeResult()
+	return nil
+}

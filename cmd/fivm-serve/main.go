@@ -1,0 +1,300 @@
+// Command fivm-serve runs the concurrent serving daemon: an F-IVM
+// Analysis engine behind sharded batched ingestion and lock-free model
+// snapshots, exposed over HTTP/JSON.
+//
+//	POST /update    ingest tuple updates (?wait=1 for read-your-writes)
+//	GET  /predict   evaluate the latest ridge model
+//	GET  /model     the published model (weights by column)
+//	GET  /stats     serving + maintenance counters
+//	GET  /viewtree  the maintained view tree
+//	GET  /healthz   liveness
+//
+// Two ways to define the engine:
+//
+//	fivm-serve -db retailer -rows 10000               # demo database preset
+//	fivm-serve -relations "R:A,B;S:B,C" \
+//	           -features "A,C:cat" -label A           # custom schema, starts empty
+//
+// With -state the daemon restores input relations from a fivm snapshot
+// file at startup (if present) and persists them periodically and on
+// shutdown; pair one state file with one engine configuration (see
+// fivm.ReadSnapshot).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/fivm"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/value"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "HTTP listen address")
+	db := flag.String("db", "", "demo database preset: retailer|favorita (overrides -relations/-features)")
+	rows := flag.Int("rows", 0, "fact-table rows for the preset database (0 = preset default)")
+	load := flag.Bool("load", true, "bulk-load the generated preset database at startup")
+	relationsFlag := flag.String("relations", "", `custom relations, e.g. "R:A,B;S:B,C"`)
+	featuresFlag := flag.String("features", "", `custom features, e.g. "A,B:cat,C:bin=10"`)
+	label := flag.String("label", "", "ridge label attribute (preset default when -db is set; empty disables fitting)")
+	statePath := flag.String("state", "", "snapshot file: restored at startup if present, persisted on shutdown")
+	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
+	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
+	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
+	flag.Parse()
+
+	cfg, initData, err := buildConfig(*db, *rows, *load, *relationsFlag, *featuresFlag, label)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := fivm.NewAnalysis(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored := false
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			err = an.ReadSnapshot(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("restoring %s: %v", *statePath, err)
+			}
+			restored = true
+			log.Printf("restored state from %s", *statePath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatal(err)
+		}
+	}
+	// A restored state file wins over the generated preset data: loading
+	// both would evaluate every view twice only to discard the first.
+	if initData != nil && !restored {
+		if err := an.Init(initData); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d relations", len(initData))
+	}
+
+	srv, err := serve.New(an, serve.Config{Label: *label, MaxBatch: *maxBatch, ChannelCap: *chanCap})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *statePath != "" && *persistEvery > 0 {
+		go func() {
+			t := time.NewTicker(*persistEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := persist(srv, *statePath); err != nil {
+						log.Printf("persist: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+	go func() {
+		log.Printf("fivm-serve listening on %s (label=%q, snapshot v%d, count=%v)",
+			*addr, *label, srv.Snapshot().Version, srv.Snapshot().Count())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil { // drains every accepted update
+		log.Printf("server close: %v", err)
+	}
+	if *statePath != "" {
+		// All pipeline goroutines have stopped; write directly.
+		if err := writeState(an, *statePath); err != nil {
+			log.Printf("final persist: %v", err)
+		} else {
+			log.Printf("state persisted to %s", *statePath)
+		}
+	}
+	st := srv.Stats()
+	log.Printf("done: %d updates ingested, %d batches, %d snapshots", st.Ingested, st.Batches, st.Snapshots)
+}
+
+// persist writes the engine state via the writer goroutine (atomically,
+// through a temp file rename).
+func persist(srv *serve.Server, path string) error {
+	var werr error
+	err := srv.Sync(func(an *fivm.Analysis) { werr = writeState(an, path) })
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+func writeState(an *fivm.Analysis, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".fivm-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := an.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// buildConfig resolves the engine configuration from either a preset
+// database or the custom -relations/-features flags. It also resolves
+// the default label for presets (writing through the flag pointer) and
+// returns the initial bulk-load data, if any.
+func buildConfig(db string, rows int, load bool, relationsFlag, featuresFlag string, label *string) (fivm.AnalysisConfig, map[string][]value.Tuple, error) {
+	var cfg fivm.AnalysisConfig
+	switch db {
+	case "retailer":
+		rcfg := dataset.DefaultRetailerConfig()
+		if rows > 0 {
+			rcfg.InventoryRows = rows
+		}
+		d := dataset.Retailer(rcfg)
+		for _, r := range d.Relations {
+			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
+		}
+		cfg.Features = []fivm.FeatureSpec{
+			{Attr: "inventoryunits"},
+			{Attr: "prize"},
+			{Attr: "subcategory", Categorical: true},
+			{Attr: "category", Categorical: true},
+			{Attr: "categoryCluster", Categorical: true},
+			{Attr: "avghhi"},
+			{Attr: "maxtemp"},
+		}
+		if *label == "" {
+			*label = "inventoryunits"
+		}
+		if load {
+			return cfg, d.TupleMap(), nil
+		}
+		return cfg, nil, nil
+	case "favorita":
+		fcfg := dataset.DefaultFavoritaConfig()
+		if rows > 0 {
+			fcfg.SalesRows = rows
+		}
+		d := dataset.Favorita(fcfg)
+		for _, r := range d.Relations {
+			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
+		}
+		cfg.Features = []fivm.FeatureSpec{
+			{Attr: "unit_sales"},
+			{Attr: "family", Categorical: true},
+			{Attr: "perishable", Categorical: true},
+			{Attr: "stype", Categorical: true},
+			{Attr: "cluster", Categorical: true},
+			{Attr: "oilprice"},
+			{Attr: "transactions"},
+		}
+		if *label == "" {
+			*label = "unit_sales"
+		}
+		if load {
+			return cfg, d.TupleMap(), nil
+		}
+		return cfg, nil, nil
+	case "":
+		var err error
+		cfg.Relations, err = parseRelations(relationsFlag)
+		if err != nil {
+			return cfg, nil, err
+		}
+		cfg.Features, err = parseFeatures(featuresFlag)
+		if err != nil {
+			return cfg, nil, err
+		}
+		return cfg, nil, nil
+	default:
+		return cfg, nil, fmt.Errorf("unknown -db %q (retailer|favorita, or use -relations/-features)", db)
+	}
+}
+
+// parseRelations parses "R:A,B;S:B,C".
+func parseRelations(s string) ([]fivm.RelationSpec, error) {
+	if s == "" {
+		return nil, errors.New("either -db or -relations is required")
+	}
+	var out []fivm.RelationSpec
+	for _, part := range strings.Split(s, ";") {
+		name, attrs, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" || attrs == "" {
+			return nil, fmt.Errorf("bad relation %q (want Name:attr1,attr2)", part)
+		}
+		spec := fivm.RelationSpec{Name: strings.TrimSpace(name)}
+		for _, a := range strings.Split(attrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("empty attribute in relation %q", part)
+			}
+			spec.Attrs = append(spec.Attrs, a)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// parseFeatures parses "A,B:cat,C:bin=10" — continuous by default,
+// ":cat" for categorical, ":bin=W" for equi-width binning.
+func parseFeatures(s string) ([]fivm.FeatureSpec, error) {
+	if s == "" {
+		return nil, errors.New("-features is required with -relations")
+	}
+	var out []fivm.FeatureSpec
+	for _, part := range strings.Split(s, ",") {
+		attr, kind, hasKind := strings.Cut(strings.TrimSpace(part), ":")
+		if attr == "" {
+			return nil, fmt.Errorf("empty feature in %q", s)
+		}
+		f := fivm.FeatureSpec{Attr: attr}
+		if hasKind {
+			switch {
+			case kind == "cat":
+				f.Categorical = true
+			case strings.HasPrefix(kind, "bin="):
+				w, err := strconv.ParseFloat(kind[len("bin="):], 64)
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("bad bin width in feature %q", part)
+				}
+				f.BinWidth = w
+			default:
+				return nil, fmt.Errorf("bad feature kind %q (want cat or bin=W)", kind)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package fivm_test
+
+import (
+	"testing"
+
+	"repro/fivm"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+func cloneFixture(t *testing.T) *fivm.Analysis {
+	t.Helper()
+	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
+		Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}},
+		Features:  []fivm.FeatureSpec{{Attr: "A"}, {Attr: "B", Categorical: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Init(map[string][]value.Tuple{
+		"R": {value.T(1, "x"), value.T(2, "y"), value.T(3, "x")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// ClonePayload must survive later engine mutation untouched — the
+// invariant the serving layer's lock-free snapshots rest on.
+func TestClonePayloadIsIsolated(t *testing.T) {
+	an := cloneFixture(t)
+	clone := an.ClonePayload()
+	if !clone.Equal(an.Payload()) {
+		t.Fatal("clone differs from source payload")
+	}
+	if err := an.Apply([]view.Update{
+		{Rel: "R", Tuple: value.T(40, "z"), Mult: 1},
+		{Rel: "R", Tuple: value.T(1, "x"), Mult: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Equal(an.Payload()) {
+		t.Fatal("engine payload should have moved on")
+	}
+	if got := clone.Count().Scalar(); got != 3 {
+		t.Fatalf("clone count = %v, want the pre-update 3", got)
+	}
+}
+
+func TestCloneViewIsIsolated(t *testing.T) {
+	an := cloneFixture(t)
+	cv := an.CloneView()
+	before := cv.String()
+	if err := an.Apply([]view.Update{{Rel: "R", Tuple: value.T(50, "w"), Mult: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if cv.String() != before {
+		t.Fatal("cloned view changed after engine update")
+	}
+}
+
+func TestDeltaForFacade(t *testing.T) {
+	an := cloneFixture(t)
+	d, err := an.DeltaFor("R", []view.Update{
+		{Rel: "R", Tuple: value.T(7, "q"), Mult: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.ApplyDelta("R", d); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.Payload().Count().Scalar(); got != 5 {
+		t.Fatalf("count = %v, want 5", got)
+	}
+	if _, err := an.DeltaFor("Nope", nil); err == nil {
+		t.Fatal("DeltaFor must reject unknown relations")
+	}
+	if got := an.RelationNames(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("RelationNames = %v", got)
+	}
+}
+
+// The pure-constant aggregate must be rejected during validation, before
+// any view tree is built.
+func TestFloatEnginePureConstantRejectedEarly(t *testing.T) {
+	cat := fivm.NewCatalog()
+	if err := cat.AddRelation("S", "A", "D"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := fivm.Parse(cat, "SELECT SUM(2) FROM S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fivm.NewFloatEngine(q); err == nil {
+		t.Fatal("pure-constant aggregate SUM(2) accepted")
+	}
+	// SUM(1) stays valid as a float-ring count.
+	q1, err := fivm.Parse(cat, "SELECT SUM(1) FROM S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fivm.NewFloatEngine(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Tree.Init(map[string][]value.Tuple{"S": {value.T(1, 2), value.T(3, 4)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Tree.ResultPayload(); got != 2 {
+		t.Fatalf("SUM(1) = %v, want 2", got)
+	}
+}

@@ -57,7 +57,7 @@ var floatFuncs = map[string]func(value.Value) float64{
 // NewFloatEngine compiles a parsed single-aggregate query into a
 // float-ring view tree. Each attribute may appear in at most one factor
 // (write SUM(sq(B)) rather than SUM(B * B)); constant factors scale the
-// aggregate.
+// aggregate. All factors are validated before the view tree is built.
 func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
 	if len(q.Aggregates) != 1 {
 		return nil, fmt.Errorf("fivm: float engine needs exactly one aggregate, got %d", len(q.Aggregates))
@@ -80,15 +80,14 @@ func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
 		lifts[f.Attr] = fn
 	}
 	if scale != 1 {
-		// Fold the constant into one of the lifts (or the result when
-		// there are none) by wrapping the first lift.
-		if len(agg.Factors) > 0 {
-			for a, fn := range lifts {
-				inner := fn
-				lifts[a] = func(v value.Value) float64 { return scale * inner(v) }
-				_ = a
-				break
-			}
+		if len(lifts) == 0 {
+			return nil, fmt.Errorf("fivm: pure-constant aggregate SUM(%v): use SUM(1) with the count engine and scale externally", scale)
+		}
+		// Fold the constant into one of the lifts by wrapping it.
+		for attr, fn := range lifts {
+			inner := fn
+			lifts[attr] = func(v value.Value) float64 { return scale * inner(v) }
+			break
 		}
 	}
 	tree, err := view.New(view.Spec[float64]{
@@ -99,9 +98,6 @@ func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
 	})
 	if err != nil {
 		return nil, err
-	}
-	if scale != 1 && len(lifts) == 0 {
-		return nil, fmt.Errorf("fivm: pure-constant aggregate SUM(%v): use SUM(1) with the count engine and scale externally", scale)
 	}
 	return &FloatEngine{Tree: tree, Query: q}, nil
 }

@@ -138,8 +138,42 @@ func (a *Analysis) ApplyDelta(rel string, d *relation.Map[*ring.RelCovar]) error
 // is empty).
 func (a *Analysis) Payload() *ring.RelCovar { return a.tree.ResultPayload() }
 
+// ClonePayload returns a deep copy of the maintained compound aggregate.
+// The clone shares nothing with the engine, so a snapshot publisher can
+// hand it to concurrent readers while the engine keeps applying deltas.
+func (a *Analysis) ClonePayload() *ring.RelCovar { return a.tree.ResultPayload().Clone() }
+
+// CloneView returns a deep copy of the maintained result view (keyed by
+// the query's free variables) with every payload cloned. Like
+// ClonePayload it shares nothing with the engine.
+func (a *Analysis) CloneView() *relation.Map[*ring.RelCovar] {
+	res := a.tree.Result()
+	out := relation.New[*ring.RelCovar](res.Schema())
+	res.Each(func(t value.Tuple, p *ring.RelCovar) { out.Set(t, p.Clone()) })
+	return out
+}
+
+// DeltaFor builds a delta relation for rel from tuple-level updates;
+// combined with view.Coalesce it lets an ingestion layer prepare batch
+// deltas off the maintenance thread and apply them with ApplyDelta. It
+// only reads immutable tree metadata, so it is safe to call concurrently
+// with maintenance.
+func (a *Analysis) DeltaFor(rel string, ups []view.Update) (*relation.Map[*ring.RelCovar], error) {
+	return a.tree.DeltaFor(rel, ups)
+}
+
+// RelationNames returns the input relation names, sorted.
+func (a *Analysis) RelationNames() []string { return a.tree.RelationNames() }
+
 // Features returns the payload indexing metadata.
 func (a *Analysis) Features() []ml.Feature { return a.feats }
+
+// FeatureSpecs returns a copy of the configured feature specs —
+// unlike Features it preserves BinWidth, which callers interpreting
+// binned one-hot categories (keyed by bin index, not raw value) need.
+func (a *Analysis) FeatureSpecs() []FeatureSpec {
+	return append([]FeatureSpec(nil), a.specs...)
+}
 
 // Covar converts the payload to a dense one-hot-expanded SigmaMatrix
 // for the regression solver.
@@ -177,7 +211,15 @@ func (a *Analysis) ChowLiu(root string) (*ml.ChowLiuTree, error) {
 // regression predicting label from the other features — the Regression
 // tab. It returns the model and the sigma matrix it was fit against.
 func (a *Analysis) Ridge(label string, model *ml.RidgeModel, cfg ml.RidgeConfig) (*ml.RidgeModel, *ml.SigmaMatrix, error) {
-	sigma, err := a.Covar()
+	return RidgeFromPayload(a.Payload(), a.feats, label, model, cfg)
+}
+
+// RidgeFromPayload fits (or re-converges, when model is non-nil) a
+// ridge regression against any COVAR payload — Analysis.Ridge uses the
+// live payload; the serving layer uses immutable snapshot clones. The
+// passed model is mutated in place when its dimensions still match.
+func RidgeFromPayload(payload *ring.RelCovar, feats []ml.Feature, label string, model *ml.RidgeModel, cfg ml.RidgeConfig) (*ml.RidgeModel, *ml.SigmaMatrix, error) {
+	sigma, err := ml.SigmaFromRelCovar(payload, feats)
 	if err != nil {
 		return nil, nil, err
 	}

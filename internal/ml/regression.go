@@ -77,6 +77,17 @@ func standardized(m *SigmaMatrix) (*SigmaMatrix, []float64, []float64) {
 	return out, mu, sigma
 }
 
+// Clone returns a deep copy of the model, so a warm-started refit can
+// run against a copy while the original stays published to readers.
+func (r *RidgeModel) Clone() *RidgeModel {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Weights = append([]float64(nil), r.Weights...)
+	return &cp
+}
+
 // NewRidge returns a zero-initialized model for the given matrix and
 // label column.
 func NewRidge(m *SigmaMatrix, labelCol int) *RidgeModel {

@@ -57,6 +57,23 @@ func (c *RelCovar) Prod(i, j int) RelVal {
 	return c.Q[triIndex(c.m, i, j)]
 }
 
+// Clone returns a deep copy of c: every relational entry is copied, so
+// the clone stays valid however the source's owner evolves afterwards.
+// Cloning nil (the ring zero) returns nil.
+func (c *RelCovar) Clone() *RelCovar {
+	if c == nil {
+		return nil
+	}
+	out := &RelCovar{m: c.m, C: c.C.Clone(), S: make([]RelVal, len(c.S)), Q: make([]RelVal, len(c.Q))}
+	for i, s := range c.S {
+		out.S[i] = s.Clone()
+	}
+	for i, q := range c.Q {
+		out.Q[i] = q.Clone()
+	}
+	return out
+}
+
 // Equal reports element-wise equality of two values from the same ring.
 func (c *RelCovar) Equal(o *RelCovar) bool {
 	cz, oz := c == nil, o == nil

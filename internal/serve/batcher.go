@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/ring"
+	"repro/internal/view"
+)
+
+// deltaRel is the concrete delta type of the Analysis engine's ring.
+type deltaRel = *relation.Map[*ring.RelCovar]
+
+// runBatcher drains one relation's shard channel. Each round it greedily
+// collects whatever is queued (up to MaxBatch raw updates), coalesces
+// same-tuple updates by summing multiplicities, prebuilds the delta
+// relation — all off the maintenance thread — and hands the batch to the
+// writer. Building deltas here only touches immutable tree metadata
+// (fivm.Analysis.DeltaFor), so batchers run concurrently with the writer.
+func (s *Server) runBatcher(sh *shard) {
+	defer s.batchers.Done()
+	for msg := range sh.ch {
+		ups := msg.ups
+		wgs := []*sync.WaitGroup{msg.wg}
+		chClosed := false
+	collect:
+		for len(ups) < s.cfg.MaxBatch {
+			select {
+			case m2, ok := <-sh.ch:
+				if !ok {
+					chClosed = true
+					break collect
+				}
+				ups = append(ups, m2.ups...)
+				wgs = append(wgs, m2.wg)
+			default:
+				break collect
+			}
+		}
+		coalesced := view.Coalesce(ups)
+		delta, err := s.an.DeltaFor(sh.rel, coalesced)
+		if err != nil {
+			// Unreachable: the relation was validated at Ingest and the
+			// updates carry no schema. Release waiters and drop.
+			for _, wg := range wgs {
+				wg.Done()
+			}
+			continue
+		}
+		s.batches <- batch{rel: sh.rel, delta: delta, raw: len(ups), wgs: wgs}
+		if chClosed {
+			return
+		}
+	}
+}
+
+// runWriter is the single goroutine allowed to mutate the engine. It
+// applies queued delta batches — at most MaxBatchesPerPublish per round,
+// so one snapshot refit amortizes over a backlog — publishes a fresh
+// snapshot, and only then releases the batches' waiters, giving Ingest's
+// done channel read-your-writes semantics.
+func (s *Server) runWriter() {
+	defer close(s.writerDone)
+	for {
+		select {
+		case req := <-s.exec:
+			req.fn(s.an)
+			close(req.done)
+		case b, ok := <-s.batches:
+			if !ok {
+				if s.dirty {
+					s.publish()
+				}
+				return
+			}
+			wgs := s.applyBatch(b)
+			chClosed := false
+			n := 1
+		drain:
+			for n < s.cfg.MaxBatchesPerPublish {
+				select {
+				case b2, ok2 := <-s.batches:
+					if !ok2 {
+						chClosed = true
+						break drain
+					}
+					wgs = append(wgs, s.applyBatch(b2)...)
+					n++
+				default:
+					break drain
+				}
+			}
+			s.publish()
+			for _, wg := range wgs {
+				wg.Done()
+			}
+			if chClosed {
+				return
+			}
+		}
+	}
+}
+
+// applyBatch applies one delta to the engine and returns the waiters to
+// release after the next publish.
+func (s *Server) applyBatch(b batch) []*sync.WaitGroup {
+	if err := s.an.ApplyDelta(b.rel, b.delta); err != nil {
+		s.nApplyErrs++
+		s.lastErr = err.Error()
+	} else {
+		s.nDeltaTuples += uint64(b.delta.Len())
+	}
+	s.nBatches++
+	s.nApplied += uint64(b.raw)
+	s.dirty = true
+	return b.wgs
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// NewHandler exposes a Server over HTTP/JSON:
+//
+//	POST /update    {"updates":[{"rel":"R","tuple":[1,2.5,"x"],"mult":1}]}
+//	                ?wait=1 blocks until the batch is applied and a
+//	                snapshot reflecting it is published
+//	GET  /predict   ?attr=value&... one query parameter per feature
+//	GET  /model     the published ridge model (weights by column label)
+//	GET  /stats     serving + maintenance counters
+//	GET  /viewtree  the maintained view tree (text)
+//	GET  /healthz   liveness
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /predict", s.handlePredict)
+	mux.HandleFunc("GET /model", s.handleModel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /viewtree", s.handleViewTree)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.Snapshot().Version})
+	})
+	return mux
+}
+
+type updateJSON struct {
+	Rel   string `json:"rel"`
+	Tuple []any  `json:"tuple"`
+	// Mult defaults to 1 (insert) when omitted; negative deletes.
+	Mult *int `json:"mult"`
+}
+
+type updateRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	var req updateRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	ups := make([]view.Update, 0, len(req.Updates))
+	for i, u := range req.Updates {
+		tuple := make(value.Tuple, len(u.Tuple))
+		for j, f := range u.Tuple {
+			v, err := valueFromJSON(f)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("updates[%d].tuple[%d]: %w", i, j, err))
+				return
+			}
+			tuple[j] = v
+		}
+		mult := 1
+		if u.Mult != nil {
+			mult = *u.Mult
+		}
+		ups = append(ups, view.Update{Rel: u.Rel, Tuple: tuple, Mult: mult})
+	}
+	done, err := s.Ingest(ups)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	applied := false
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-done:
+			applied = true
+		case <-r.Context().Done():
+			writeErr(w, http.StatusRequestTimeout, r.Context().Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(ups), "applied": applied})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	x := make(map[string]value.Value)
+	for k, vs := range r.URL.Query() {
+		if len(vs) > 0 {
+			x[k] = ParseValue(vs[0])
+		}
+	}
+	p, err := snap.Predict(x)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"prediction": p,
+		"label":      snap.Label,
+		"version":    snap.Version,
+		"count":      snap.Count(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	if snap.Model == nil {
+		msg := snap.FitErr
+		if msg == "" {
+			msg = "model fitting is disabled (no label configured)"
+		}
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("%s", msg))
+		return
+	}
+	type weightJSON struct {
+		Column string  `json:"column"`
+		Weight float64 `json:"weight"`
+	}
+	weights := make([]weightJSON, 0, snap.Sigma.Dim())
+	for i, col := range snap.Sigma.Cols {
+		if i == snap.Model.LabelCol {
+			continue
+		}
+		weights = append(weights, weightJSON{Column: col.Label(), Weight: snap.Model.Weights[i]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":    snap.Version,
+		"label":      snap.Label,
+		"count":      snap.Count(),
+		"intercept":  snap.Model.Intercept,
+		"weights":    weights,
+		"converged":  snap.Model.Converged,
+		"iterations": snap.Model.Iterations,
+		"train_rmse": snap.Model.TrainRMSE(snap.Sigma),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":     st.Ingested,
+		"applied":      st.Applied,
+		"batches":      st.Batches,
+		"delta_tuples": st.DeltaTuples,
+		"snapshots":    st.Snapshots,
+		"apply_errors": st.ApplyErrors,
+		"last_error":   st.LastError,
+		"view_updates": st.View.Updates,
+		"view_delta_tuples": st.View.DeltaTuples,
+	})
+}
+
+func (s *Server) handleViewTree(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, s.ViewTree())
+}
+
+// valueFromJSON converts a decoded JSON scalar (with json.Number
+// preserved) to a typed value.
+func valueFromJSON(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null(), nil
+	case json.Number:
+		if i, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+			return value.Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad number %q", x)
+		}
+		return value.Float(f), nil
+	case string:
+		return value.String(x), nil
+	default:
+		return value.Value{}, fmt.Errorf("unsupported JSON value %v (want number, string, or null)", v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/fivm"
+)
+
+// newHTTPServer serves a single-relation engine R(X,Y) with label Y, so
+// y = 2x training data yields an easily checkable model.
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
+		Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"X", "Y"}}},
+		Features:  []fivm.FeatureSpec{{Attr: "X"}, {Attr: "Y"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(an, Config{Label: "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postUpdates(t *testing.T, ts *httptest.Server, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/update?wait=1", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /update = %d: %v", resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPUpdateThenPredict(t *testing.T) {
+	_, ts := newHTTPServer(t)
+
+	// y = 2x over x = 1..20, as one batch with wait=1.
+	var ups []string
+	for x := 1; x <= 20; x++ {
+		ups = append(ups, fmt.Sprintf(`{"rel":"R","tuple":[%d,%d]}`, x, 2*x))
+	}
+	out := postUpdates(t, ts, `{"updates":[`+strings.Join(ups, ",")+`]}`)
+	if out["accepted"].(float64) != 20 || out["applied"] != true {
+		t.Fatalf("update response = %v", out)
+	}
+
+	code, pred := getJSON(t, ts.URL+"/predict?X=5")
+	if code != http.StatusOK {
+		t.Fatalf("GET /predict = %d: %v", code, pred)
+	}
+	if got := pred["prediction"].(float64); got < 9 || got > 11 {
+		t.Fatalf("predict(X=5) = %v, want ≈10", got)
+	}
+	if pred["count"].(float64) != 20 {
+		t.Fatalf("count = %v, want 20", pred["count"])
+	}
+	v1 := pred["version"].(float64)
+
+	// A second batch shifts the line; the next predict must reflect it.
+	var ups2 []string
+	for x := 1; x <= 20; x++ {
+		ups2 = append(ups2, fmt.Sprintf(`{"rel":"R","tuple":[%d,%d]}`, x, 2*x+100))
+	}
+	postUpdates(t, ts, `{"updates":[`+strings.Join(ups2, ",")+`]}`)
+	code, pred2 := getJSON(t, ts.URL+"/predict?X=5")
+	if code != http.StatusOK {
+		t.Fatalf("GET /predict (2) = %d: %v", code, pred2)
+	}
+	if pred2["version"].(float64) <= v1 {
+		t.Fatalf("version did not advance: %v -> %v", v1, pred2["version"])
+	}
+	if got := pred2["prediction"].(float64); got < 40 || got > 80 {
+		t.Fatalf("predict after shifted batch = %v, want ≈60", got)
+	}
+}
+
+func TestHTTPDeleteViaMult(t *testing.T) {
+	srv, ts := newHTTPServer(t)
+	postUpdates(t, ts, `{"updates":[
+		{"rel":"R","tuple":[1,2]},
+		{"rel":"R","tuple":[3,6]},
+		{"rel":"R","tuple":[1,2],"mult":-1}]}`)
+	if got := srv.Snapshot().Count(); got != 1 {
+		t.Fatalf("count = %v, want 1 after insert+insert+delete", got)
+	}
+}
+
+func TestHTTPModelStatsViewTreeHealth(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	postUpdates(t, ts, `{"updates":[{"rel":"R","tuple":[1,2]},{"rel":"R","tuple":[2,4]},{"rel":"R","tuple":[3,7]}]}`)
+
+	code, model := getJSON(t, ts.URL+"/model")
+	if code != http.StatusOK {
+		t.Fatalf("GET /model = %d: %v", code, model)
+	}
+	if model["label"] != "Y" || model["weights"] == nil {
+		t.Fatalf("model = %v", model)
+	}
+
+	code, stats := getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK || stats["ingested"].(float64) != 3 {
+		t.Fatalf("GET /stats = %d: %v", code, stats)
+	}
+
+	resp, err := http.Get(ts.URL + "/viewtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /viewtree = %d", resp.StatusCode)
+	}
+
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("GET /healthz = %d: %v", code, health)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/update", "application/json",
+		bytes.NewBufferString(`{"updates":[{"rel":"Nope","tuple":[1,2]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown relation = %d, want 400", resp.StatusCode)
+	}
+	code, _ := getJSON(t, ts.URL+"/predict") // missing features
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("predict without features = %d, want 422", code)
+	}
+}

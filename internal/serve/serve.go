@@ -1,0 +1,311 @@
+// Package serve is the concurrent serving layer over a fivm.Analysis
+// engine: continuous ingestion of tuple updates on the write path,
+// lock-free model reads on the read path.
+//
+// The F-IVM engines are single-threaded by design — every view update
+// mutates shared state. serve keeps that invariant while exposing the
+// paper's promise (fresh models under a high-velocity update stream) as
+// a service:
+//
+//   - Ingest accepts tuple updates from any number of goroutines and
+//     routes them through per-relation sharded channels.
+//   - One batcher goroutine per relation drains its channel, coalesces
+//     same-tuple updates by summing multiplicities (the paper's
+//     batch-update strategy), and prebuilds the delta relation off the
+//     maintenance thread.
+//   - A single writer goroutine applies delta batches to the engine and
+//     after each applied round publishes an immutable ModelSnapshot
+//     (deep payload clone + refit ridge model + sigma + counters)
+//     through an atomic.Pointer.
+//
+// Readers call Snapshot and work against that immutable value: Predict,
+// Covar, MI, ChowLiu, and Stats never take a lock, never block behind
+// ingestion, and never observe a half-applied batch.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/fivm"
+	"repro/internal/ml"
+	"repro/internal/view"
+)
+
+// ErrClosed is returned by Ingest and Sync after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the ingestion pipeline.
+type Config struct {
+	// Label is the attribute the published ridge model predicts; it
+	// must be a continuous feature of the analysis. Empty disables
+	// model fitting (payload snapshots are still published).
+	Label string
+	// Ridge configures the solver; the zero value means
+	// ml.DefaultRidgeConfig().
+	Ridge ml.RidgeConfig
+	// MaxBatch caps the number of raw updates a batcher coalesces into
+	// one delta (default 8192).
+	MaxBatch int
+	// ChannelCap is the per-relation ingest channel capacity
+	// (default 256).
+	ChannelCap int
+	// MaxBatchesPerPublish caps how many queued deltas the writer
+	// applies before publishing a fresh snapshot (default 32). Higher
+	// values amortize refits under backlog at the cost of staleness.
+	MaxBatchesPerPublish int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ridge == (ml.RidgeConfig{}) {
+		c.Ridge = ml.DefaultRidgeConfig()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.ChannelCap <= 0 {
+		c.ChannelCap = 256
+	}
+	if c.MaxBatchesPerPublish <= 0 {
+		c.MaxBatchesPerPublish = 32
+	}
+	return c
+}
+
+// Stats counts serving work. View carries the engine's own maintenance
+// counters.
+type Stats struct {
+	// Ingested is the number of tuple updates accepted by Ingest.
+	Ingested uint64
+	// Applied is the number of ingested updates represented by applied
+	// batches (it reaches Ingested once the pipeline drains).
+	Applied uint64
+	// Batches is the number of delta batches applied to the engine.
+	Batches uint64
+	// DeltaTuples is the number of distinct delta tuples applied after
+	// coalescing; Applied − DeltaTuples updates were absorbed by the
+	// batcher before touching any view.
+	DeltaTuples uint64
+	// Snapshots is the number of published model snapshots.
+	Snapshots uint64
+	// ApplyErrors counts failed ApplyDelta calls (LastError keeps the
+	// most recent message).
+	ApplyErrors uint64
+	LastError   string
+	View        view.Stats
+}
+
+// Server owns a fivm.Analysis and runs the ingestion pipeline over it.
+// Create one with New; all methods are safe for concurrent use.
+type Server struct {
+	an  *fivm.Analysis
+	cfg Config
+
+	mu     sync.RWMutex // closed vs. sends on shard/exec channels
+	closed bool
+
+	shards     map[string]*shard
+	batches    chan batch
+	exec       chan execReq
+	writerDone chan struct{}
+	batchers   sync.WaitGroup
+
+	snap      atomic.Pointer[ModelSnapshot]
+	ingested  atomic.Uint64
+	binWidths map[string]float64
+
+	// Writer-goroutine-private counters, copied into each snapshot.
+	nApplied     uint64
+	nBatches     uint64
+	nDeltaTuples uint64
+	nSnapshots   uint64
+	nApplyErrs   uint64
+	lastErr      string
+	dirty        bool
+
+	viewTree string
+}
+
+type shard struct {
+	rel   string
+	arity int
+	ch    chan ingestMsg
+}
+
+type ingestMsg struct {
+	ups []view.Update
+	wg  *sync.WaitGroup
+}
+
+type batch struct {
+	rel   string
+	delta deltaRel
+	raw   int // ingested updates this batch represents
+	wgs   []*sync.WaitGroup
+}
+
+type execReq struct {
+	fn   func(*fivm.Analysis)
+	done chan struct{}
+}
+
+// New wraps an Analysis (already Init-ed with any initial data) in a
+// Server and starts the pipeline. The Server takes ownership of the
+// engine: after New the caller must not touch it except through Sync.
+func New(an *fivm.Analysis, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Label != "" {
+		found := false
+		for _, f := range an.Features() {
+			if f.Name == cfg.Label {
+				if f.Categorical {
+					return nil, fmt.Errorf("serve: label %s is categorical; ridge needs a continuous label", cfg.Label)
+				}
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: label %s is not a feature of the analysis", cfg.Label)
+		}
+	}
+	s := &Server{
+		an:         an,
+		cfg:        cfg,
+		shards:     make(map[string]*shard),
+		batches:    make(chan batch, cfg.ChannelCap),
+		exec:       make(chan execReq),
+		writerDone: make(chan struct{}),
+		viewTree:   an.ViewTree(),
+		binWidths:  make(map[string]float64),
+	}
+	for _, f := range an.FeatureSpecs() {
+		if f.BinWidth > 0 {
+			s.binWidths[f.Attr] = f.BinWidth
+		}
+	}
+	for _, rel := range an.RelationNames() {
+		src, _ := an.Tree().Source(rel)
+		s.shards[rel] = &shard{rel: rel, arity: src.Schema().Len(), ch: make(chan ingestMsg, cfg.ChannelCap)}
+	}
+	s.publish() // version 1: the initial state, before any goroutine runs
+	for _, sh := range s.shards {
+		s.batchers.Add(1)
+		go s.runBatcher(sh)
+	}
+	go s.runWriter()
+	return s, nil
+}
+
+// Ingest enqueues tuple updates. It returns a channel that is closed
+// once every update of this call has been applied to the engine AND a
+// snapshot reflecting them has been published — callers that need
+// read-your-writes wait on it; fire-and-forget callers drop it.
+// Updates to one relation are applied in ingest order; updates to
+// different relations may interleave with other callers', which cannot
+// change the final state (delta application commutes).
+func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
+	done := make(chan struct{})
+	if len(ups) == 0 {
+		close(done)
+		return done, nil
+	}
+	// Group by relation, preserving per-relation order, validating
+	// every update (relation known, tuple arity matches the schema)
+	// before anything is enqueued — a bad update must not reach the
+	// pipeline goroutines, where it would panic the whole server.
+	order := make([]string, 0, 4)
+	groups := make(map[string][]view.Update, 4)
+	for i, u := range ups {
+		sh, known := s.shards[u.Rel]
+		if !known {
+			return nil, fmt.Errorf("serve: unknown relation %s", u.Rel)
+		}
+		if len(u.Tuple) != sh.arity {
+			return nil, fmt.Errorf("serve: updates[%d]: relation %s wants %d attributes, tuple has %d", i, u.Rel, sh.arity, len(u.Tuple))
+		}
+		g, ok := groups[u.Rel]
+		if !ok {
+			order = append(order, u.Rel)
+		}
+		groups[u.Rel] = append(g, u)
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	// Count before the sends: a snapshot published mid-Ingest must never
+	// report Applied > Ingested.
+	s.ingested.Add(uint64(len(ups)))
+	var wg sync.WaitGroup
+	wg.Add(len(order))
+	for _, rel := range order {
+		s.shards[rel].ch <- ingestMsg{ups: groups[rel], wg: &wg}
+	}
+	s.mu.RUnlock()
+
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done, nil
+}
+
+// Sync runs fn on the writer goroutine with exclusive access to the
+// engine, between batches — the safe way to reach engine state the
+// snapshot does not carry (e.g. fivm's WriteSnapshot persistence). It
+// blocks until fn returns.
+func (s *Server) Sync(fn func(*fivm.Analysis)) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	req := execReq{fn: fn, done: make(chan struct{})}
+	s.exec <- req
+	s.mu.RUnlock()
+	<-req.done
+	return nil
+}
+
+// Snapshot returns the latest published model snapshot. It never blocks
+// and never returns nil.
+func (s *Server) Snapshot() *ModelSnapshot { return s.snap.Load() }
+
+// Stats returns serving counters: snapshot-consistent applied-side
+// numbers plus the live ingested count.
+func (s *Server) Stats() Stats {
+	st := s.snap.Load().Stats
+	st.Ingested = s.ingested.Load()
+	return st
+}
+
+// ViewTree returns the engine's view-tree rendering (immutable after
+// construction, so it is served from cache).
+func (s *Server) ViewTree() string { return s.viewTree }
+
+// Close drains the pipeline — every update accepted by Ingest before
+// Close is applied and reflected in a final snapshot — then stops all
+// goroutines. It is idempotent; Ingest and Sync fail with ErrClosed
+// afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.writerDone
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.mu.Unlock()
+
+	s.batchers.Wait()
+	close(s.batches)
+	<-s.writerDone
+	return nil
+}

@@ -1,0 +1,102 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/vo"
+)
+
+func TestCoalesce(t *testing.T) {
+	ups := []Update{
+		{Rel: "R", Tuple: value.T(1, 2), Mult: 1},
+		{Rel: "S", Tuple: value.T(1, 2), Mult: 1}, // same tuple, other relation
+		{Rel: "R", Tuple: value.T(1, 2), Mult: 3},
+		{Rel: "R", Tuple: value.T(9, 9), Mult: 1},
+		{Rel: "R", Tuple: value.T(9, 9), Mult: -1}, // cancels
+		{Rel: "R", Tuple: value.T(1, 2), Mult: -2},
+	}
+	got := Coalesce(ups)
+	want := []Update{
+		{Rel: "R", Tuple: value.T(1, 2), Mult: 2},
+		{Rel: "S", Tuple: value.T(1, 2), Mult: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce returned %d updates, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Rel != want[i].Rel || !got[i].Tuple.Equal(want[i].Tuple) || got[i].Mult != want[i].Mult {
+			t.Errorf("Coalesce[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if len(Coalesce(nil)) != 0 {
+		t.Error("Coalesce(nil) must be empty")
+	}
+}
+
+// TestCoalesceEquivalence: applying a coalesced batch must produce the
+// same tree state as applying the raw updates.
+func TestCoalesceEquivalence(t *testing.T) {
+	build := func() *Tree[int64] {
+		tr, err := New(Spec[int64]{
+			Ring:      ring.Ints{},
+			Relations: []vo.Rel{{Name: "R", Schema: value.NewSchema("A", "B")}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	ups := []Update{
+		{Rel: "R", Tuple: value.T(1, 1), Mult: 1},
+		{Rel: "R", Tuple: value.T(1, 1), Mult: 1},
+		{Rel: "R", Tuple: value.T(2, 2), Mult: 1},
+		{Rel: "R", Tuple: value.T(1, 1), Mult: -1},
+		{Rel: "R", Tuple: value.T(3, 3), Mult: 1},
+		{Rel: "R", Tuple: value.T(3, 3), Mult: -1},
+	}
+	raw, co := build(), build()
+	if err := raw.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.ApplyUpdates(Coalesce(ups)); err != nil {
+		t.Fatal(err)
+	}
+	if raw.ResultPayload() != co.ResultPayload() {
+		t.Fatalf("coalesced result %d != raw result %d", co.ResultPayload(), raw.ResultPayload())
+	}
+}
+
+// TestLargeMultiplicity: building a delta from a huge Mult must cost
+// O(log Mult), not Mult ring additions — this would hang for minutes if
+// the multiplicity were applied by repeated Merge.
+func TestLargeMultiplicity(t *testing.T) {
+	tr, err := New(Spec[int64]{
+		Ring:      ring.Ints{},
+		Relations: []vo.Rel{{Name: "R", Schema: value.NewSchema("A", "B")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const huge = 1 << 40
+	d, err := tr.DeltaFor("R", []Update{
+		{Rel: "R", Tuple: value.T(1, 2), Mult: huge},
+		{Rel: "R", Tuple: value.T(3, 4), Mult: -3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Get(value.T(1, 2)); got != huge {
+		t.Fatalf("delta payload = %d, want %d", got, int64(huge))
+	}
+	if got, _ := d.Get(value.T(3, 4)); got != -3 {
+		t.Fatalf("delta payload = %d, want -3", got)
+	}
+	if err := tr.ApplyUpdates([]Update{{Rel: "R", Tuple: value.T(9, 9), Mult: huge}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.ResultPayload(); got != huge {
+		t.Fatalf("result = %d, want %d", got, int64(huge))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/relation"
+	"repro/internal/ring"
 	"repro/internal/value"
 )
 
@@ -80,8 +81,6 @@ func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
 func (t *Tree[V]) ApplyUpdates(ups []Update) error {
 	order := make([]string, 0, 4)
 	deltas := make(map[string]*relation.Map[V], 4)
-	one := t.ring.One()
-	negOne := t.ring.Neg(one)
 	for _, u := range ups {
 		d, ok := deltas[u.Rel]
 		if !ok {
@@ -93,15 +92,7 @@ func (t *Tree[V]) ApplyUpdates(ups []Update) error {
 			deltas[u.Rel] = d
 			order = append(order, u.Rel)
 		}
-		p := one
-		reps := u.Mult
-		if reps < 0 {
-			p = negOne
-			reps = -reps
-		}
-		for i := 0; i < reps; i++ {
-			d.Merge(t.ring, u.Tuple, p)
-		}
+		d.Merge(t.ring, u.Tuple, payloadFor(t.ring, u.Mult))
 	}
 	for _, name := range order {
 		if err := t.ApplyDelta(name, deltas[name]); err != nil {
@@ -131,6 +122,64 @@ func (t *Tree[V]) Delete(rel string, tuples ...value.Tuple) error {
 	return t.ApplyUpdates(ups)
 }
 
+// Coalesce merges updates that target the same relation and tuple by
+// summing their multiplicities — the paper's batch-update preprocessing:
+// an insert and a delete of the same tuple inside one batch cancel
+// before any view work happens. Updates that net to zero are dropped;
+// the first-appearance order of surviving (relation, tuple) pairs is
+// preserved. The input is not modified.
+func Coalesce(ups []Update) []Update {
+	type slot struct {
+		pos  int
+		mult int
+	}
+	merged := make(map[string]slot, len(ups))
+	out := make([]Update, 0, len(ups))
+	for _, u := range ups {
+		k := u.Rel + "\x00" + u.Tuple.Encode()
+		if s, ok := merged[k]; ok {
+			s.mult += u.Mult
+			merged[k] = s
+			out[s.pos].Mult = s.mult
+			continue
+		}
+		merged[k] = slot{pos: len(out), mult: u.Mult}
+		out = append(out, u)
+	}
+	compact := out[:0]
+	for _, u := range out {
+		if u.Mult != 0 {
+			compact = append(compact, u)
+		}
+	}
+	return compact
+}
+
+// scaledOne returns n × 1 (n ≥ 0) in the ring by binary doubling, so a
+// large multiplicity costs O(log n) ring additions instead of n.
+func scaledOne[V any](r ring.Ring[V], n int) V {
+	acc := r.Zero()
+	pow := r.One()
+	for n > 0 {
+		if n&1 == 1 {
+			acc = r.Add(acc, pow)
+		}
+		n >>= 1
+		if n > 0 {
+			pow = r.Add(pow, pow)
+		}
+	}
+	return acc
+}
+
+// payloadFor returns mult × 1 in the ring (negative for deletes).
+func payloadFor[V any](r ring.Ring[V], mult int) V {
+	if mult < 0 {
+		return r.Neg(scaledOne(r, -mult))
+	}
+	return scaledOne(r, mult)
+}
+
 // DeltaFor builds a delta relation for rel from (tuple, multiplicity)
 // pairs, for callers that want to drive ApplyDelta directly.
 func (t *Tree[V]) DeltaFor(rel string, ups []Update) (*relation.Map[V], error) {
@@ -139,21 +188,11 @@ func (t *Tree[V]) DeltaFor(rel string, ups []Update) (*relation.Map[V], error) {
 		return nil, fmt.Errorf("view: unknown relation %s", rel)
 	}
 	d := relation.New[V](src.schema)
-	one := t.ring.One()
-	negOne := t.ring.Neg(one)
 	for _, u := range ups {
 		if u.Rel != rel {
 			return nil, fmt.Errorf("view: DeltaFor(%s) got update for %s", rel, u.Rel)
 		}
-		p := one
-		reps := u.Mult
-		if reps < 0 {
-			p = negOne
-			reps = -reps
-		}
-		for i := 0; i < reps; i++ {
-			d.Merge(t.ring, u.Tuple, p)
-		}
+		d.Merge(t.ring, u.Tuple, payloadFor(t.ring, u.Mult))
 	}
 	return d, nil
 }

@@ -25,6 +25,7 @@ func benchServeServer(b *testing.B, rows int) (*serve.Server, []view.Update) {
 	}
 	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
 		Relations: rels,
+		Label:     "inventoryunits",
 		Features: []fivm.FeatureSpec{
 			{Attr: "inventoryunits"},
 			{Attr: "prize"},
@@ -39,7 +40,7 @@ func benchServeServer(b *testing.B, rows int) (*serve.Server, []view.Update) {
 	if err := an.Init(db.TupleMap()); err != nil {
 		b.Fatal(err)
 	}
-	srv, err := serve.New(an, serve.Config{Label: "inventoryunits"})
+	srv, err := serve.New(an, serve.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}

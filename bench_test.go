@@ -106,7 +106,7 @@ func BenchmarkE2FIVM(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := eng.Tree.Init(db.TupleMap()); err != nil {
+		if err := eng.Init(db.TupleMap()); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
@@ -115,7 +115,7 @@ func BenchmarkE2FIVM(b *testing.B) {
 			if k > len(ups) {
 				k = len(ups)
 			}
-			if err := eng.Tree.ApplyUpdates(ups[j:k]); err != nil {
+			if err := eng.Apply(ups[j:k]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -235,7 +235,7 @@ func BenchmarkE7BatchSize(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := eng.Tree.Init(db.TupleMap()); err != nil {
+				if err := eng.Init(db.TupleMap()); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -244,7 +244,7 @@ func BenchmarkE7BatchSize(b *testing.B) {
 					if k > len(ups) {
 						k = len(ups)
 					}
-					if err := eng.Tree.ApplyUpdates(ups[j:k]); err != nil {
+					if err := eng.Apply(ups[j:k]); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -271,7 +271,7 @@ func BenchmarkE7AggCount(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := eng.Tree.Init(db.TupleMap()); err != nil {
+				if err := eng.Init(db.TupleMap()); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -280,7 +280,7 @@ func BenchmarkE7AggCount(b *testing.B) {
 					if k > len(ups) {
 						k = len(ups)
 					}
-					if err := eng.Tree.ApplyUpdates(ups[j:k]); err != nil {
+					if err := eng.Apply(ups[j:k]); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -306,11 +306,11 @@ func BenchmarkAblationSharing(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := eng.Tree.Init(db.TupleMap()); err != nil {
+			if err := eng.Init(db.TupleMap()); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if err := eng.Tree.ApplyUpdates(ups); err != nil {
+			if err := eng.Apply(ups); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -377,7 +377,7 @@ func BenchmarkAblationDeletes(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := eng.Tree.Init(db.TupleMap()); err != nil {
+				if err := eng.Init(db.TupleMap()); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -386,7 +386,7 @@ func BenchmarkAblationDeletes(b *testing.B) {
 					if k > len(ups) {
 						k = len(ups)
 					}
-					if err := eng.Tree.ApplyUpdates(ups[j:k]); err != nil {
+					if err := eng.Apply(ups[j:k]); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -433,11 +433,11 @@ func BenchmarkAblationFactorized(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := eng.Tree.Init(db.TupleMap()); err != nil {
+			if err := eng.Init(db.TupleMap()); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if err := eng.Tree.ApplyUpdates(ups); err != nil {
+			if err := eng.Apply(ups); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -451,11 +451,11 @@ func BenchmarkAblationFactorized(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := je.Tree.Init(db.TupleMap()); err != nil {
+			if err := je.Init(db.TupleMap()); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if err := je.Tree.ApplyUpdates(ups); err != nil {
+			if err := je.Apply(ups); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -481,11 +481,11 @@ func BenchmarkAblationRanged(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := eng.Tree.Init(db.TupleMap()); err != nil {
+			if err := eng.Init(db.TupleMap()); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if err := eng.Tree.ApplyUpdates(ups); err != nil {
+			if err := eng.Apply(ups); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -498,11 +498,11 @@ func BenchmarkAblationRanged(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := eng.Tree.Init(db.TupleMap()); err != nil {
+			if err := eng.Init(db.TupleMap()); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if err := eng.Tree.ApplyUpdates(ups); err != nil {
+			if err := eng.Apply(ups); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,24 +1,30 @@
-// Command fivm-serve runs the concurrent serving daemon: an F-IVM
-// Analysis engine behind sharded batched ingestion and lock-free model
+// Command fivm-serve runs the concurrent serving daemon: any F-IVM
+// engine behind sharded batched ingestion and lock-free model
 // snapshots, exposed over HTTP/JSON.
 //
 //	POST /update    ingest tuple updates (?wait=1 for read-your-writes)
-//	GET  /predict   evaluate the latest ridge model
-//	GET  /model     the published model (weights by column)
+//	GET  /predict   evaluate the latest ridge model (analysis engines)
+//	GET  /model     the published model, rendered per engine kind
 //	GET  /stats     serving + maintenance counters
 //	GET  /viewtree  the maintained view tree
 //	GET  /healthz   liveness
 //
-// Two ways to define the engine:
+// The engine kind follows the workload definition (fivm.Open):
 //
-//	fivm-serve -db retailer -rows 10000               # demo database preset
+//	fivm-serve -db retailer -rows 10000                    # analysis preset
 //	fivm-serve -relations "R:A,B;S:B,C" \
-//	           -features "A,C:cat" -label A           # custom schema, starts empty
+//	           -features "A,C:cat" -label A                # analysis, custom schema
+//	fivm-serve -relations "R:A,B;S:B,C" \
+//	           -query "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"   # count
+//	fivm-serve -relations "R:A,B;S:B,C" \
+//	           -query "SELECT SUM(A * B) FROM R NATURAL JOIN S"             # float
+//	fivm-serve -relations "R:A,B;S:B,C" -attrs "A,B,C"     # scalar COVAR
+//	fivm-serve -relations "R:A,B;S:B,C" -engine join       # join result
 //
 // With -state the daemon restores input relations from a fivm snapshot
 // file at startup (if present) and persists them periodically and on
-// shutdown; pair one state file with one engine configuration (see
-// fivm.ReadSnapshot).
+// shutdown; pair one state file with one engine configuration (the
+// snapshot's codec tag rejects a mismatched engine kind).
 package main
 
 import (
@@ -47,27 +53,30 @@ func main() {
 	db := flag.String("db", "", "demo database preset: retailer|favorita (overrides -relations/-features)")
 	rows := flag.Int("rows", 0, "fact-table rows for the preset database (0 = preset default)")
 	load := flag.Bool("load", true, "bulk-load the generated preset database at startup")
+	engine := flag.String("engine", "", "engine kind: analysis|count|float|covar|rangedcovar|join (default: inferred from the other flags)")
+	queryFlag := flag.String("query", "", `SQL-subset query for count/float engines, e.g. "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"`)
 	relationsFlag := flag.String("relations", "", `custom relations, e.g. "R:A,B;S:B,C"`)
-	featuresFlag := flag.String("features", "", `custom features, e.g. "A,B:cat,C:bin=10"`)
-	label := flag.String("label", "", "ridge label attribute (preset default when -db is set; empty disables fitting)")
+	featuresFlag := flag.String("features", "", `analysis features, e.g. "A,B:cat,C:bin=10"`)
+	attrsFlag := flag.String("attrs", "", `covar aggregate attributes, e.g. "A,B,C"`)
+	label := flag.String("label", "", "ridge label attribute for analysis engines (preset default when -db is set; empty disables fitting)")
 	statePath := flag.String("state", "", "snapshot file: restored at startup if present, persisted on shutdown")
 	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
 	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
 	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
 	flag.Parse()
 
-	cfg, initData, err := buildConfig(*db, *rows, *load, *relationsFlag, *featuresFlag, label)
+	cfg, initData, err := buildConfig(*db, *rows, *load, *engine, *queryFlag, *relationsFlag, *featuresFlag, *attrsFlag, label)
 	if err != nil {
 		log.Fatal(err)
 	}
-	an, err := fivm.NewAnalysis(cfg)
+	eng, err := fivm.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	restored := false
 	if *statePath != "" {
 		if f, err := os.Open(*statePath); err == nil {
-			err = an.ReadSnapshot(f)
+			err = eng.ReadSnapshot(f)
 			f.Close()
 			if err != nil {
 				log.Fatalf("restoring %s: %v", *statePath, err)
@@ -81,13 +90,13 @@ func main() {
 	// A restored state file wins over the generated preset data: loading
 	// both would evaluate every view twice only to discard the first.
 	if initData != nil && !restored {
-		if err := an.Init(initData); err != nil {
+		if err := eng.Init(initData); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("loaded %d relations", len(initData))
 	}
 
-	srv, err := serve.New(an, serve.Config{Label: *label, MaxBatch: *maxBatch, ChannelCap: *chanCap})
+	srv, err := serve.New(eng, serve.Config{MaxBatch: *maxBatch, ChannelCap: *chanCap})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,8 +123,8 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
 	go func() {
-		log.Printf("fivm-serve listening on %s (label=%q, snapshot v%d, count=%v)",
-			*addr, *label, srv.Snapshot().Version, srv.Snapshot().Count())
+		log.Printf("fivm-serve listening on %s (engine=%s, snapshot v%d, count=%v)",
+			*addr, srv.Kind(), srv.Snapshot().Version, srv.Snapshot().Count())
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
@@ -133,7 +142,7 @@ func main() {
 	}
 	if *statePath != "" {
 		// All pipeline goroutines have stopped; write directly.
-		if err := writeState(an, *statePath); err != nil {
+		if err := writeState(eng, *statePath); err != nil {
 			log.Printf("final persist: %v", err)
 		} else {
 			log.Printf("state persisted to %s", *statePath)
@@ -147,20 +156,20 @@ func main() {
 // through a temp file rename).
 func persist(srv *serve.Server, path string) error {
 	var werr error
-	err := srv.Sync(func(an *fivm.Analysis) { werr = writeState(an, path) })
+	err := srv.Sync(func(eng serve.Maintainable) { werr = writeState(eng, path) })
 	if err != nil {
 		return err
 	}
 	return werr
 }
 
-func writeState(an *fivm.Analysis, path string) error {
+func writeState(eng serve.Maintainable, path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".fivm-state-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := an.WriteSnapshot(tmp); err != nil {
+	if err := eng.WriteSnapshot(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -171,11 +180,18 @@ func writeState(an *fivm.Analysis, path string) error {
 }
 
 // buildConfig resolves the engine configuration from either a preset
-// database or the custom -relations/-features flags. It also resolves
-// the default label for presets (writing through the flag pointer) and
-// returns the initial bulk-load data, if any.
-func buildConfig(db string, rows int, load bool, relationsFlag, featuresFlag string, label *string) (fivm.AnalysisConfig, map[string][]value.Tuple, error) {
-	var cfg fivm.AnalysisConfig
+// database or the custom flags. It also resolves the default label for
+// presets (writing through the flag pointer) and returns the initial
+// bulk-load data, if any.
+func buildConfig(db string, rows int, load bool, engine, queryFlag, relationsFlag, featuresFlag, attrsFlag string, label *string) (fivm.Config, map[string][]value.Tuple, error) {
+	cfg := fivm.Config{Kind: fivm.Kind(engine), Query: queryFlag}
+	if db != "" && (featuresFlag != "" || attrsFlag != "" || relationsFlag != "" || queryFlag != "" || engine != "") {
+		// The presets define their own schema, features, and engine
+		// kind; silently overriding any of them would serve a different
+		// engine than asked, and passing them through would surface as
+		// confusing fivm.Open errors blaming flags the user never set.
+		return cfg, nil, fmt.Errorf("-db %s defines its own relations, features, and engine kind; drop -relations/-features/-attrs/-query/-engine", db)
+	}
 	switch db {
 	case "retailer":
 		rcfg := dataset.DefaultRetailerConfig()
@@ -198,6 +214,7 @@ func buildConfig(db string, rows int, load bool, relationsFlag, featuresFlag str
 		if *label == "" {
 			*label = "inventoryunits"
 		}
+		cfg.Label = *label
 		if load {
 			return cfg, d.TupleMap(), nil
 		}
@@ -223,6 +240,7 @@ func buildConfig(db string, rows int, load bool, relationsFlag, featuresFlag str
 		if *label == "" {
 			*label = "unit_sales"
 		}
+		cfg.Label = *label
 		if load {
 			return cfg, d.TupleMap(), nil
 		}
@@ -233,13 +251,23 @@ func buildConfig(db string, rows int, load bool, relationsFlag, featuresFlag str
 		if err != nil {
 			return cfg, nil, err
 		}
-		cfg.Features, err = parseFeatures(featuresFlag)
-		if err != nil {
-			return cfg, nil, err
+		if featuresFlag != "" {
+			cfg.Features, err = parseFeatures(featuresFlag)
+			if err != nil {
+				return cfg, nil, err
+			}
 		}
+		if attrsFlag != "" {
+			for _, a := range strings.Split(attrsFlag, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					cfg.Attrs = append(cfg.Attrs, a)
+				}
+			}
+		}
+		cfg.Label = *label
 		return cfg, nil, nil
 	default:
-		return cfg, nil, fmt.Errorf("unknown -db %q (retailer|favorita, or use -relations/-features)", db)
+		return cfg, nil, fmt.Errorf("unknown -db %q (retailer|favorita, or use -relations)", db)
 	}
 }
 
@@ -270,9 +298,6 @@ func parseRelations(s string) ([]fivm.RelationSpec, error) {
 // parseFeatures parses "A,B:cat,C:bin=10" — continuous by default,
 // ":cat" for categorical, ":bin=W" for equi-width binning.
 func parseFeatures(s string) ([]fivm.FeatureSpec, error) {
-	if s == "" {
-		return nil, errors.New("-features is required with -relations")
-	}
 	var out []fivm.FeatureSpec
 	for _, part := range strings.Split(s, ",") {
 		attr, kind, hasKind := strings.Cut(strings.TrimSpace(part), ":")

@@ -3,11 +3,16 @@
 // swapped: matrices become relations over their index pairs with entries
 // as float-ring payloads, the chain product A·B·C becomes the query
 //
-//	SELECT I, L, SUM(entryA * entryB * entryC)
+//	SELECT I, L, SUM(1)
 //	FROM MA NATURAL JOIN MB NATURAL JOIN MC GROUP BY I, L
 //
-// (with entries living in payloads rather than columns), and updating a
-// single matrix entry incrementally maintains the product.
+// (with entries living in payloads rather than columns — the SUM(1)
+// lift contributes nothing; InitWeighted supplies the entries), and
+// updating a single matrix entry incrementally maintains the product.
+//
+// The whole workload runs through the unified fivm API: Open compiles
+// the query into a float-ring engine, and the generic core's
+// InitWeighted/ApplyDelta lifecycle does the rest.
 package main
 
 import (
@@ -15,11 +20,10 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/fivm"
 	"repro/internal/relation"
 	"repro/internal/ring"
 	"repro/internal/value"
-	"repro/internal/view"
-	"repro/internal/vo"
 )
 
 // dims of the chain A(4×3) · B(3×5) · C(5×2).
@@ -40,44 +44,46 @@ func main() {
 	b := randomMatrix(rng, "J", "K", dimJ, dimK)
 	c := randomMatrix(rng, "K", "L", dimK, dimL)
 
-	rels := []vo.Rel{
-		{Name: "MA", Schema: value.NewSchema("I", "J")},
-		{Name: "MB", Schema: value.NewSchema("J", "K")},
-		{Name: "MC", Schema: value.NewSchema("K", "L")},
-	}
-	tr, err := view.New(view.Spec[float64]{
-		Ring:      f,
-		Relations: rels,
-		Free:      []string{"I", "L"}, // the outer indices survive
+	// KindFloat forces the float ring (SUM(1) alone would infer a count
+	// engine over Z — entries are floats).
+	eng, err := fivm.Open(fivm.Config{
+		Kind: fivm.KindFloat,
+		Relations: []fivm.RelationSpec{
+			{Name: "MA", Attrs: []string{"I", "J"}},
+			{Name: "MB", Attrs: []string{"J", "K"}},
+			{Name: "MC", Attrs: []string{"K", "L"}},
+		},
+		Query: "SELECT I, L, SUM(1) FROM MA NATURAL JOIN MB NATURAL JOIN MC GROUP BY I, L",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tr.InitWeighted(map[string]*relation.Map[float64]{
+	fe := eng.(*fivm.FloatEngine)
+	if err := fe.InitWeighted(map[string]*relation.Map[float64]{
 		"MA": a, "MB": b, "MC": c,
 	}); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("A·B·C via the view tree (entries as ring payloads):")
-	printProduct(tr)
+	printProduct(fe)
 
 	// Verify against direct evaluation.
 	direct := chainProduct(a, b, c)
-	fmt.Printf("matches direct evaluation: %v\n\n", productsEqual(tr, direct))
+	fmt.Printf("matches direct evaluation: %v\n\n", productsEqual(fe, direct))
 
 	// Incremental entry update: ΔA[0,0] = +1 means the delta payload is
 	// +1 at key (0,0); the product updates without recomputation.
 	fmt.Println("applying ΔA[0,0] += 1 incrementally:")
 	delta := relation.New[float64](value.NewSchema("I", "J"))
 	delta.Set(value.T(0, 0), 1)
-	if err := tr.ApplyDelta("MA", delta); err != nil {
+	if err := fe.ApplyDelta("MA", delta); err != nil {
 		log.Fatal(err)
 	}
 	a.Merge(f, value.T(0, 0), 1)
 	direct = chainProduct(a, b, c)
-	printProduct(tr)
-	fmt.Printf("matches direct re-evaluation: %v\n", productsEqual(tr, direct))
+	printProduct(fe)
+	fmt.Printf("matches direct re-evaluation: %v\n", productsEqual(fe, direct))
 }
 
 func randomMatrix(rng *rand.Rand, rowAttr, colAttr string, rows, cols int) *relation.Map[float64] {
@@ -116,20 +122,20 @@ func chainProduct(a, b, c *relation.Map[float64]) [][]float64 {
 	return out
 }
 
-func printProduct(tr *view.Tree[float64]) {
+func printProduct(fe *fivm.FloatEngine) {
 	for i := 0; i < dimI; i++ {
 		fmt.Print("  [")
 		for l := 0; l < dimL; l++ {
-			fmt.Printf(" %8.0f", tr.Result().GetOr(value.T(i, l), 0))
+			fmt.Printf(" %8.0f", fe.Result().GetOr(value.T(i, l), 0))
 		}
 		fmt.Println(" ]")
 	}
 }
 
-func productsEqual(tr *view.Tree[float64], want [][]float64) bool {
+func productsEqual(fe *fivm.FloatEngine, want [][]float64) bool {
 	for i := range want {
 		for l := range want[i] {
-			if tr.Result().GetOr(value.T(i, l), 0) != want[i][l] {
+			if fe.Result().GetOr(value.T(i, l), 0) != want[i][l] {
 				return false
 			}
 		}

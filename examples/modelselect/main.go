@@ -37,10 +37,11 @@ func main() {
 		{Attr: "maxtemp", BinWidth: 5},
 		{Attr: "rain", Categorical: true},
 	}
-	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{Relations: rels, Features: features})
+	eng, err := fivm.Open(fivm.Config{Relations: rels, Features: features})
 	if err != nil {
 		log.Fatal(err)
 	}
+	an := eng.(*fivm.Analysis)
 	if err := an.Init(db.TupleMap()); err != nil {
 		log.Fatal(err)
 	}

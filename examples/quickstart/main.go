@@ -4,68 +4,71 @@
 // ring (continuous B, C, D), the generalized ring with categorical C,
 // and the MI count tables (all categorical) — followed by the figure's
 // δR maintenance step.
+//
+// Each scenario is one fivm.Open call: the paper's point (swap the ring,
+// keep everything else) is literally a one-field change in the Config.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/ring"
+	"repro/fivm"
 	"repro/internal/value"
 	"repro/internal/view"
-	"repro/internal/vo"
 )
 
 func main() {
-	rels := []vo.Rel{
-		{Name: "R", Schema: value.NewSchema("A", "B")},
-		{Name: "S", Schema: value.NewSchema("A", "C", "D")},
+	rels := []fivm.RelationSpec{
+		{Name: "R", Attrs: []string{"A", "B"}},
+		{Name: "S", Attrs: []string{"A", "C", "D"}},
 	}
 	data := map[string][]value.Tuple{
 		"R": {value.T("a1", 1), value.T("a2", 2)},
 		"S": {value.T("a1", 1, 1), value.T("a1", 2, 3), value.T("a2", 2, 2)},
 	}
-	order, err := vo.Build(rels)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("View tree (variable order) for R(A,B) ⋈ S(A,C,D):")
-	fmt.Print(order)
-	fmt.Println()
 
-	// Scenario 1: the count aggregate over the Z ring.
-	count, err := view.New(view.Spec[int64]{Ring: ring.Ints{}, Order: order, Relations: rels})
+	// Scenario 1: the count aggregate over the Z ring — a SQL query
+	// compiles to a count engine.
+	count, err := fivm.Open(fivm.Config{
+		Relations: rels,
+		Query:     "SELECT SUM(1) FROM R NATURAL JOIN S",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := count.Init(data); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Q = SUM(1)                      -> %d tuples in the join\n", count.ResultPayload())
+	fmt.Println("View tree (variable order) for R(A,B) ⋈ S(A,C,D):")
+	fmt.Print(count.ViewTree())
+	fmt.Println()
+	ce := count.(*fivm.CountEngine)
+	fmt.Printf("Q = SUM(1)                      -> %d tuples in the join\n", ce.Payload())
 
-	// Scenario 2: COVAR over continuous B, C, D (degree-3 matrix ring).
-	cr := ring.NewCovarRing(3)
-	covar, err := view.New(view.Spec[*ring.Covar]{
-		Ring: cr, Order: order, Relations: rels,
-		Lifts: map[string]ring.Lift[*ring.Covar]{"B": cr.Lift(0), "C": cr.Lift(1), "D": cr.Lift(2)},
-	})
+	// Scenario 2: COVAR over continuous B, C, D (degree-3 matrix ring) —
+	// the same Config with Attrs instead of a Query.
+	covar, err := fivm.Open(fivm.Config{Relations: rels, Attrs: []string{"B", "C", "D"}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := covar.Init(data); err != nil {
 		log.Fatal(err)
 	}
-	p := covar.ResultPayload()
+	p, err := covar.(*fivm.CovarEngine).Covar()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("COVAR (cont. B,C,D)             -> count=%v  s=[%v %v %v]\n", p.Count(), p.Sum(0), p.Sum(1), p.Sum(2))
 	fmt.Printf("                                   Q=[BB=%v BC=%v BD=%v CC=%v CD=%v DD=%v]\n",
 		p.Prod(0, 0), p.Prod(0, 1), p.Prod(0, 2), p.Prod(1, 1), p.Prod(1, 2), p.Prod(2, 2))
 
-	// Scenario 3: COVAR with categorical C (generalized ring).
-	gr := ring.NewRelCovarRing(3)
-	mixed, err := view.New(view.Spec[*ring.RelCovar]{
-		Ring: gr, Order: order, Relations: rels,
-		Lifts: map[string]ring.Lift[*ring.RelCovar]{
-			"B": gr.LiftContinuous(0), "C": gr.LiftCategorical(1), "D": gr.LiftContinuous(2),
+	// Scenario 3: COVAR with categorical C (generalized ring) — Features
+	// instead of Attrs selects the analysis engine.
+	mixed, err := fivm.Open(fivm.Config{
+		Relations: rels,
+		Features: []fivm.FeatureSpec{
+			{Attr: "B"}, {Attr: "C", Categorical: true}, {Attr: "D"},
 		},
 	})
 	if err != nil {
@@ -74,14 +77,14 @@ func main() {
 	if err := mixed.Init(data); err != nil {
 		log.Fatal(err)
 	}
-	mp := mixed.ResultPayload()
+	mp := mixed.(*fivm.Analysis).Payload()
 	fmt.Printf("COVAR (cat. C; cont. B,D)       -> s_C=%v  Q_BC=%v\n", mp.Sum(1), mp.Prod(0, 1))
 
 	// Scenario 4: MI count tables (all categorical).
-	mi, err := view.New(view.Spec[*ring.RelCovar]{
-		Ring: gr, Order: order, Relations: rels,
-		Lifts: map[string]ring.Lift[*ring.RelCovar]{
-			"B": gr.LiftCategorical(0), "C": gr.LiftCategorical(1), "D": gr.LiftCategorical(2),
+	mi, err := fivm.Open(fivm.Config{
+		Relations: rels,
+		Features: []fivm.FeatureSpec{
+			{Attr: "B", Categorical: true}, {Attr: "C", Categorical: true}, {Attr: "D", Categorical: true},
 		},
 	})
 	if err != nil {
@@ -90,26 +93,34 @@ func main() {
 	if err := mi.Init(data); err != nil {
 		log.Fatal(err)
 	}
-	ip := mi.ResultPayload()
+	ip := mi.(*fivm.Analysis).Payload()
 	fmt.Printf("MI (cat. B,C,D)                 -> C_B=%v  C_CD=%v\n", ip.Sum(0), ip.Prod(1, 2))
 
-	// Incremental maintenance: the figure's δR = {(a1, b1) -> +1}.
+	// Incremental maintenance: the figure's δR = {(a1, b1) -> +1}. The
+	// lifecycle is identical across engines — one Apply call each.
 	fmt.Println("\nApplying δR = insert (a1, b1):")
-	if err := count.Insert("R", value.T("a1", 1)); err != nil {
+	dR := []view.Update{{Rel: "R", Tuple: value.T("a1", 1), Mult: 1}}
+	if err := count.Apply(dR); err != nil {
 		log.Fatal(err)
 	}
-	if err := covar.Insert("R", value.T("a1", 1)); err != nil {
+	if err := covar.Apply(dR); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  count   -> %d\n", count.ResultPayload())
-	np := covar.ResultPayload()
+	fmt.Printf("  count   -> %d\n", ce.Payload())
+	np, err := covar.(*fivm.CovarEngine).Covar()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  COVAR   -> count=%v SUM(B)=%v SUM(B*D)=%v\n", np.Count(), np.Sum(0), np.Prod(0, 2))
 
 	fmt.Println("Deleting it again restores the initial state:")
-	if err := covar.Delete("R", value.T("a1", 1)); err != nil {
+	if err := covar.Apply([]view.Update{{Rel: "R", Tuple: value.T("a1", 1), Mult: -1}}); err != nil {
 		log.Fatal(err)
 	}
-	rp := covar.ResultPayload()
+	rp, err := covar.(*fivm.CovarEngine).Covar()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  COVAR   -> count=%v SUM(B)=%v (matches the bulk-loaded state: %v)\n",
 		rp.Count(), rp.Sum(0), rp.Equal(p))
 }

@@ -33,10 +33,11 @@ func main() {
 		{Attr: "categoryCluster", Categorical: true},
 		{Attr: "avghhi"},
 	}
-	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{Relations: rels, Features: features})
+	eng, err := fivm.Open(fivm.Config{Relations: rels, Features: features, Label: "inventoryunits"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	an := eng.(*fivm.Analysis)
 	start := time.Now()
 	if err := an.Init(db.TupleMap()); err != nil {
 		log.Fatal(err)

@@ -92,7 +92,7 @@ func TestFloatEnginePureConstantRejectedEarly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fivm.NewFloatEngine(q); err == nil {
+	if _, err := fivm.NewFloatEngine(q, nil); err == nil {
 		t.Fatal("pure-constant aggregate SUM(2) accepted")
 	}
 	// SUM(1) stays valid as a float-ring count.
@@ -100,14 +100,14 @@ func TestFloatEnginePureConstantRejectedEarly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := fivm.NewFloatEngine(q1)
+	eng, err := fivm.NewFloatEngine(q1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(map[string][]value.Tuple{"S": {value.T(1, 2), value.T(3, 4)}}); err != nil {
+	if err := eng.Init(map[string][]value.Tuple{"S": {value.T(1, 2), value.T(3, 4)}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := eng.Tree.ResultPayload(); got != 2 {
+	if got := eng.Payload(); got != 2 {
 		t.Fatalf("SUM(1) = %v, want 2", got)
 	}
 }

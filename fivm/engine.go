@@ -1,0 +1,307 @@
+package fivm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/m3"
+	"repro/internal/relation"
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// Kind names an engine instantiation — which ring the shared maintenance
+// machinery runs over.
+type Kind string
+
+// The engine kinds Open can build.
+const (
+	KindAnalysis    Kind = "analysis"    // generalized COVAR / MI over mixed features
+	KindCount       Kind = "count"       // SUM(1) over the Z ring
+	KindFloat       Kind = "float"       // one SUM aggregate over the float ring
+	KindCovar       Kind = "covar"       // scalar COVAR over all-continuous attributes
+	KindRangedCovar Kind = "rangedcovar" // scalar COVAR with ranged payloads
+	KindJoin        Kind = "join"        // the join result itself, via the relational ring
+	KindCustom      Kind = "custom"      // caller-supplied ring via NewEngine
+)
+
+// Delta is an opaque prebuilt delta relation flowing between BuildDelta
+// and ApplyBuilt. Concretely it is the engine's *relation.Map[V]; the
+// interface lets a ring-agnostic serving layer carry it without knowing
+// V. Len reports the number of distinct delta tuples.
+type Delta interface{ Len() int }
+
+// Model is an immutable view of an engine's maintained result, published
+// by PublishModel for lock-free concurrent readers. Implementations are
+// deep copies: nothing the engine does after publishing can change them.
+//
+// Concrete models are AnalysisModel (ridge/COVAR/MI), TableModel
+// (count, float-SUM, and join results), and CovarModel (scalar COVAR).
+type Model interface {
+	// Kind identifies the engine kind that published the model.
+	Kind() Kind
+	// Count is a scalar summary of the maintained result: the join
+	// cardinality where the ring tracks one, otherwise the grand total
+	// of the maintained aggregate (see each model's documentation).
+	Count() float64
+	// ResultJSON renders the model for machine consumption (the serving
+	// layer's GET /model). It returns an error when there is no
+	// renderable result yet — e.g. ridge fitting failed or the join is
+	// empty for a matrix-valued result.
+	ResultJSON() (any, error)
+	// Predict evaluates the model's predictor on one feature vector.
+	// Engines that publish no predictive model return an error.
+	Predict(x map[string]value.Value) (float64, error)
+}
+
+// Engine is the generic core every F-IVM workload shares: a view tree
+// over one ring, plus the lifecycle around it — bulk load, incremental
+// maintenance, delta prebuilding, deep-cloned reads, snapshot
+// persistence, and model publishing. The six public engines (Analysis,
+// CountEngine, FloatEngine, CovarEngine, RangedCovarEngine, JoinEngine)
+// are thin instantiations that add ring-specific typed accessors.
+//
+// Result-access convention (uniform across all engines): Payload and
+// Result never fail — an empty join yields the ring's zero (nil for
+// pointer-shaped rings) and an empty result relation. Typed accessors
+// that must interpret the payload into derived structure (Covar, Sigma,
+// Ridge, MI, a Model's ResultJSON) return a descriptive error on the
+// empty join instead of fabricating zeros; plain enumerations (Tuples)
+// return empty collections.
+//
+// An Engine is not safe for concurrent use, with two deliberate
+// exceptions that the serving layer builds on: BuildDelta/DeltaFor only
+// read immutable tree metadata and may run concurrently with
+// maintenance, and every published Model is an isolated deep copy.
+type Engine[V any] struct {
+	tree    *view.Tree[V]
+	kind    Kind
+	codec   ring.Codec[V]
+	clone   func(V) V
+	info    m3.RingInfo
+	publish func(prev Model) Model
+}
+
+// EngineOptions configures NewEngine beyond the view tree itself. All
+// fields are optional.
+type EngineOptions[V any] struct {
+	// Codec enables WriteSnapshot/ReadSnapshot; without one the
+	// snapshot methods fail.
+	Codec ring.Codec[V]
+	// Clone deep-copies one payload for CloneView/ClonePayload; nil
+	// means payloads are value types copied by assignment.
+	Clone func(V) V
+	// M3 names the ring for the M3/ViewTree renderings.
+	M3 m3.RingInfo
+	// Publish builds the published Model; nil engines publish a
+	// ResultSummary.
+	Publish func(prev Model) Model
+}
+
+// NewEngine wraps an already-built view tree in the generic lifecycle.
+// The public constructors use it internally; it is exported so custom
+// rings (e.g. the matrix ring) get the same lifecycle without a bespoke
+// engine type.
+func NewEngine[V any](kind Kind, tree *view.Tree[V], opts EngineOptions[V]) *Engine[V] {
+	if kind == "" {
+		kind = KindCustom
+	}
+	clone := opts.Clone
+	if clone == nil {
+		clone = func(v V) V { return v }
+	}
+	info := opts.M3
+	if info.Name == "" {
+		info.Name = fmt.Sprintf("%T", tree.Ring())
+	}
+	return &Engine[V]{tree: tree, kind: kind, codec: opts.Codec, clone: clone, info: info, publish: opts.Publish}
+}
+
+// Kind identifies the engine instantiation.
+func (e *Engine[V]) Kind() Kind { return e.kind }
+
+// Tree exposes the underlying view tree for advanced inspection.
+func (e *Engine[V]) Tree() *view.Tree[V] { return e.tree }
+
+// Init bulk-loads the initial database (payload One per tuple,
+// duplicates accumulate) and evaluates all views.
+func (e *Engine[V]) Init(data map[string][]value.Tuple) error { return e.tree.Init(data) }
+
+// InitWeighted bulk-loads relations whose tuples carry explicit ring
+// payloads — how non-counting interpretations load data (e.g. matrix
+// entries as payloads of index tuples).
+func (e *Engine[V]) InitWeighted(data map[string]*relation.Map[V]) error {
+	return e.tree.InitWeighted(data)
+}
+
+// Apply maintains the views under a batch of tuple-level updates
+// (Mult > 0 inserts, < 0 deletes).
+func (e *Engine[V]) Apply(ups []view.Update) error { return e.tree.ApplyUpdates(ups) }
+
+// Insert applies single-tuple inserts to rel.
+func (e *Engine[V]) Insert(rel string, tuples ...value.Tuple) error {
+	return e.tree.Insert(rel, tuples...)
+}
+
+// Delete applies single-tuple deletes to rel.
+func (e *Engine[V]) Delete(rel string, tuples ...value.Tuple) error {
+	return e.tree.Delete(rel, tuples...)
+}
+
+// ApplyDelta maintains the views under a prebuilt delta relation.
+func (e *Engine[V]) ApplyDelta(rel string, d *relation.Map[V]) error {
+	return e.tree.ApplyDelta(rel, d)
+}
+
+// DeltaFor builds a delta relation for rel from tuple-level updates; it
+// only reads immutable tree metadata, so it is safe to call concurrently
+// with maintenance — an ingestion layer prepares batch deltas off the
+// maintenance thread and applies them with ApplyDelta.
+func (e *Engine[V]) DeltaFor(rel string, ups []view.Update) (*relation.Map[V], error) {
+	return e.tree.DeltaFor(rel, ups)
+}
+
+// BuildDelta is DeltaFor behind the type-erased Delta, for ring-agnostic
+// callers like the serving layer. Safe to call concurrently with
+// maintenance.
+func (e *Engine[V]) BuildDelta(rel string, ups []view.Update) (Delta, error) {
+	return e.tree.DeltaFor(rel, ups)
+}
+
+// ApplyBuilt applies a delta produced by BuildDelta of the same engine
+// configuration.
+func (e *Engine[V]) ApplyBuilt(rel string, d Delta) error {
+	m, ok := d.(*relation.Map[V])
+	if !ok {
+		return fmt.Errorf("fivm: delta type %T does not match the engine's payload type", d)
+	}
+	return e.tree.ApplyDelta(rel, m)
+}
+
+// Payload returns the maintained compound aggregate of a query without
+// group-by. It never fails: the empty join yields the ring's zero (nil
+// for pointer-shaped rings) — see the Engine doc for the result-access
+// convention.
+func (e *Engine[V]) Payload() V { return e.tree.ResultPayload() }
+
+// Result returns the maintained result relation, keyed by the query's
+// free variables. Callers must not mutate it; use CloneView for an
+// isolated copy.
+func (e *Engine[V]) Result() *relation.Map[V] { return e.tree.Result() }
+
+// ClonePayload returns a deep copy of the maintained compound aggregate,
+// sharing nothing with the engine — a snapshot publisher can hand it to
+// concurrent readers while the engine keeps applying deltas.
+func (e *Engine[V]) ClonePayload() V { return e.clone(e.tree.ResultPayload()) }
+
+// CloneView returns a deep copy of the maintained result relation with
+// every payload cloned. Like ClonePayload it shares nothing with the
+// engine.
+func (e *Engine[V]) CloneView() *relation.Map[V] {
+	res := e.tree.Result()
+	out := relation.New[V](res.Schema())
+	res.Each(func(t value.Tuple, p V) { out.Set(t, e.clone(p)) })
+	return out
+}
+
+// RelationNames returns the input relation names, sorted.
+func (e *Engine[V]) RelationNames() []string { return e.tree.RelationNames() }
+
+// Arity returns the attribute count of input relation rel.
+func (e *Engine[V]) Arity(rel string) (int, bool) {
+	src, ok := e.tree.Source(rel)
+	if !ok {
+		return 0, false
+	}
+	return src.Schema().Len(), true
+}
+
+// Stats exposes maintenance counters.
+func (e *Engine[V]) Stats() view.Stats { return e.tree.Stats() }
+
+// ViewTree renders the maintained view tree.
+func (e *Engine[V]) ViewTree() string { return m3.Render(e.tree, e.info).TreeDrawing }
+
+// M3 renders the per-view M3 maintenance code.
+func (e *Engine[V]) M3() string { return m3.Render(e.tree, e.info).String() }
+
+// WriteSnapshot persists the engine's input relations (views are derived
+// state, recomputed on restore). The snapshot is self-contained binary,
+// tagged with the payload codec; pair it with an engine built from the
+// same configuration.
+func (e *Engine[V]) WriteSnapshot(w io.Writer) error {
+	if e.codec == nil {
+		return fmt.Errorf("fivm: %s engine has no snapshot codec", e.kind)
+	}
+	return e.tree.WriteSnapshot(w, e.codec)
+}
+
+// ReadSnapshot loads input relations from a snapshot written by
+// WriteSnapshot and re-evaluates every view. The receiving engine must
+// have the same relations, lifts, and variable order as the writer;
+// snapshots from a different engine kind are rejected by the codec tag.
+func (e *Engine[V]) ReadSnapshot(r io.Reader) error {
+	if e.codec == nil {
+		return fmt.Errorf("fivm: %s engine has no snapshot codec", e.kind)
+	}
+	return e.tree.ReadSnapshot(r, e.codec)
+}
+
+// PublishModel builds an immutable Model of the current result, warm-
+// starting from prev (the previously published model, nil on the first
+// publish) where the engine supports it. It reads live engine state, so
+// a serving layer must call it from its single writer.
+func (e *Engine[V]) PublishModel(prev Model) Model {
+	if e.publish != nil {
+		return e.publish(prev)
+	}
+	return &ResultSummary{EngineKind: e.kind, Groups: e.tree.Result().Len()}
+}
+
+// ResultSummary is the Model published by engines without a richer
+// rendering hook (NewEngine with no Publish option): just the engine
+// kind and the number of result groups.
+type ResultSummary struct {
+	EngineKind Kind `json:"kind"`
+	Groups     int  `json:"groups"`
+}
+
+// Kind identifies the publishing engine.
+func (m *ResultSummary) Kind() Kind { return m.EngineKind }
+
+// Count returns the number of result groups.
+func (m *ResultSummary) Count() float64 { return float64(m.Groups) }
+
+// ResultJSON renders the summary.
+func (m *ResultSummary) ResultJSON() (any, error) {
+	return map[string]any{"groups": m.Groups}, nil
+}
+
+// Predict always fails: a custom engine publishes no predictor.
+func (m *ResultSummary) Predict(map[string]value.Value) (float64, error) {
+	return 0, fmt.Errorf("fivm: %s engine serves no predictive model", m.EngineKind)
+}
+
+// tableModel snapshots the result relation into a TableModel. The
+// publish-time cost is one shallow clone (payloads are immutable under
+// ring operations, so sharing them is a full snapshot); converting with
+// toFloat, sorting, and decoding keys is deferred to the first read of
+// the model.
+func tableModel[V any](e *Engine[V], toFloat func(V) float64) *TableModel {
+	frozen := e.tree.Result().Clone()
+	return &TableModel{
+		EngineKind: e.kind,
+		Attrs:      frozen.Schema().Attrs(),
+		build: func() ([]TableRow, float64) {
+			rows := make([]TableRow, 0, frozen.Len())
+			var total float64
+			frozen.EachSorted(func(t value.Tuple, p V) {
+				v := toFloat(p)
+				rows = append(rows, TableRow{Key: jsonTuple(t), Value: v})
+				total += v
+			})
+			return rows, total
+		},
+	}
+}

@@ -2,7 +2,9 @@ package fivm
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/m3"
 	"repro/internal/query"
 	"repro/internal/ring"
 	"repro/internal/value"
@@ -10,17 +12,38 @@ import (
 	"repro/internal/vo"
 )
 
+// validateGroupBy fails fast when a GROUP BY attribute is missing from
+// the joined schema — otherwise the error surfaces later as a confusing
+// "free variable not in the variable order" from the view layer.
+// Queries produced by Parse are already validated against a catalog;
+// this guards hand-built query.Query values too.
+func validateGroupBy(q *query.Query) error {
+	attrs := value.NewSchema()
+	names := make([]string, len(q.Relations))
+	for i, r := range q.Relations {
+		attrs = attrs.Union(r.Schema)
+		names[i] = r.Name
+	}
+	for _, g := range q.GroupBy {
+		if !attrs.Has(g) {
+			return fmt.Errorf("fivm: GROUP BY attribute %s not in the schema of the joined relations (%s)", g, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
 // CountEngine maintains a COUNT (SUM(1)) query over a natural join,
 // optionally grouped, using the Z ring. It is the simplest F-IVM
 // instantiation: payloads are tuple multiplicities.
 type CountEngine struct {
-	Tree  *view.Tree[int64]
+	*Engine[int64]
 	Query *query.Query
 }
 
 // NewCountEngine compiles a parsed SUM(1) query (with optional GROUP BY)
-// into a Z-ring view tree.
-func NewCountEngine(q *query.Query) (*CountEngine, error) {
+// into a Z-ring view tree. A nil order derives one with the greedy
+// heuristic.
+func NewCountEngine(q *query.Query, order *vo.Order) (*CountEngine, error) {
 	if len(q.Aggregates) != 1 {
 		return nil, fmt.Errorf("fivm: count engine needs exactly one aggregate, got %d", len(q.Aggregates))
 	}
@@ -28,22 +51,32 @@ func NewCountEngine(q *query.Query) (*CountEngine, error) {
 	if len(agg.Factors) != 1 || !agg.Factors[0].IsConst || agg.Factors[0].Const != 1 {
 		return nil, fmt.Errorf("fivm: count engine needs SUM(1), got %v", agg)
 	}
+	if err := validateGroupBy(q); err != nil {
+		return nil, err
+	}
 	tree, err := view.New(view.Spec[int64]{
 		Ring:      ring.Ints{},
+		Order:     order,
 		Relations: q.VORels(),
 		Free:      q.GroupBy,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &CountEngine{Tree: tree, Query: q}, nil
+	e := &CountEngine{Query: q}
+	e.Engine = NewEngine(KindCount, tree, EngineOptions[int64]{
+		Codec:   ring.IntCodec{},
+		M3:      m3.RingInfo{Name: "long"},
+		Publish: func(Model) Model { return tableModel(e.Engine, func(v int64) float64 { return float64(v) }) },
+	})
+	return e, nil
 }
 
 // FloatEngine maintains one SUM aggregate of a product of per-attribute
 // functions over a natural join using the float ring, e.g.
 // SUM(B * sq(C)) or SUM(B * D) GROUP BY A.
 type FloatEngine struct {
-	Tree  *view.Tree[float64]
+	*Engine[float64]
 	Query *query.Query
 }
 
@@ -57,10 +90,14 @@ var floatFuncs = map[string]func(value.Value) float64{
 // NewFloatEngine compiles a parsed single-aggregate query into a
 // float-ring view tree. Each attribute may appear in at most one factor
 // (write SUM(sq(B)) rather than SUM(B * B)); constant factors scale the
-// aggregate. All factors are validated before the view tree is built.
-func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
+// aggregate. All factors are validated before the view tree is built. A
+// nil order derives one with the greedy heuristic.
+func NewFloatEngine(q *query.Query, order *vo.Order) (*FloatEngine, error) {
 	if len(q.Aggregates) != 1 {
 		return nil, fmt.Errorf("fivm: float engine needs exactly one aggregate, got %d", len(q.Aggregates))
+	}
+	if err := validateGroupBy(q); err != nil {
+		return nil, err
 	}
 	agg := q.Aggregates[0]
 	lifts := map[string]ring.Lift[float64]{}
@@ -92,6 +129,7 @@ func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
 	}
 	tree, err := view.New(view.Spec[float64]{
 		Ring:      ring.Floats{},
+		Order:     order,
 		Relations: q.VORels(),
 		Lifts:     lifts,
 		Free:      q.GroupBy,
@@ -99,14 +137,22 @@ func NewFloatEngine(q *query.Query) (*FloatEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FloatEngine{Tree: tree, Query: q}, nil
+	e := &FloatEngine{Query: q}
+	e.Engine = NewEngine(KindFloat, tree, EngineOptions[float64]{
+		Codec: ring.FloatCodec{},
+		M3:    m3.RingInfo{Name: "double"},
+		Publish: func(Model) Model {
+			return tableModel(e.Engine, func(v float64) float64 { return v })
+		},
+	})
+	return e, nil
 }
 
 // CovarEngine maintains the scalar degree-m COVAR matrix over
 // all-continuous attributes — the cheaper sibling of Analysis for
 // workloads without categorical features.
 type CovarEngine struct {
-	Tree  *view.Tree[*ring.Covar]
+	*Engine[*ring.Covar]
 	Ring  ring.CovarRing
 	Attrs []string
 }
@@ -125,6 +171,7 @@ func NewCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) (*Cova
 	}
 	rg := ring.NewCovarRing(len(attrs))
 	lifts := map[string]ring.Lift[*ring.Covar]{}
+	idx := make(map[string]int, len(attrs))
 	for i, a := range attrs {
 		if !schema.Has(a) {
 			return nil, fmt.Errorf("fivm: aggregate attribute %s not in any relation", a)
@@ -133,6 +180,7 @@ func NewCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) (*Cova
 			return nil, fmt.Errorf("fivm: attribute %s listed twice", a)
 		}
 		lifts[a] = rg.Lift(i)
+		idx[a] = i
 	}
 	tree, err := view.New(view.Spec[*ring.Covar]{
 		Ring:      rg,
@@ -145,8 +193,33 @@ func NewCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) (*Cova
 	}
 	cp := make([]string, len(attrs))
 	copy(cp, attrs)
-	return &CovarEngine{Tree: tree, Ring: rg, Attrs: cp}, nil
+	e := &CovarEngine{Ring: rg, Attrs: cp}
+	e.Engine = NewEngine(KindCovar, tree, EngineOptions[*ring.Covar]{
+		Codec: ring.CovarCodec{Ring: rg},
+		Clone: (*ring.Covar).Clone,
+		M3: m3.RingInfo{
+			Name: fmt.Sprintf("RingCofactor<double, %d>", len(attrs)),
+			LiftIndexOf: func(v string) int {
+				if i, ok := idx[v]; ok {
+					return i
+				}
+				return -1
+			},
+		},
+		Publish: func(Model) Model {
+			return &CovarModel{EngineKind: KindCovar, Attrs: cp, Payload: e.Payload().Clone()}
+		},
+	})
+	return e, nil
 }
 
-// Payload returns the maintained scalar COVAR compound aggregate.
-func (e *CovarEngine) Payload() *ring.Covar { return e.Tree.ResultPayload() }
+// Covar returns the compound aggregate, failing on the empty join per
+// the package's result-access convention. Use Payload for the raw
+// (possibly nil) value.
+func (e *CovarEngine) Covar() (*ring.Covar, error) {
+	p := e.Payload()
+	if p == nil {
+		return nil, fmt.Errorf("fivm: empty join result")
+	}
+	return p, nil
+}

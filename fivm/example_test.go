@@ -93,17 +93,17 @@ func ExampleNewCountEngine() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := fivm.NewCountEngine(q)
+	eng, err := fivm.NewCountEngine(q, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = eng.Tree.Init(map[string][]value.Tuple{
+	err = eng.Init(map[string][]value.Tuple{
 		"R": {value.T("a1", 1), value.T("a1", 2), value.T("a2", 3)},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.Tree.Result().EachSorted(func(t value.Tuple, c int64) {
+	eng.Result().EachSorted(func(t value.Tuple, c int64) {
 		fmt.Printf("%v -> %d\n", t, c)
 	})
 	// Output:

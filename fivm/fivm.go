@@ -1,21 +1,34 @@
 // Package fivm is the public API of the F-IVM reproduction: real-time
-// analytics over fast-evolving relational data. It wires together the
-// internal substrates — ring library, variable orders, view trees — into
-// the workflows the paper demonstrates:
+// analytics over fast-evolving relational data. Its central claim —
+// the paper's — is that ONE view-maintenance mechanism serves many
+// workloads by swapping the payload ring and nothing else. The API is
+// shaped accordingly:
 //
-//   - Analysis: maintain the generalized COVAR matrix (continuous +
-//     categorical attributes) or mutual-information count tables over a
-//     natural join under inserts and deletes, and derive ridge linear
-//     regression, model selection, and Chow-Liu trees from the payload.
-//   - Count / Float engines: maintain classic SUM aggregates parsed from
-//     a small SQL subset.
+//   - Engine[V] is the generic core: a view tree over one ring plus the
+//     shared lifecycle (Init, InitWeighted, Apply, ApplyDelta, DeltaFor,
+//     CloneView, Stats, WriteSnapshot/ReadSnapshot, PublishModel).
+//   - Six thin instantiations add typed accessors: Analysis
+//     (generalized COVAR / MI / ridge / Chow-Liu over mixed features),
+//     CountEngine and FloatEngine (SUM aggregates parsed from a small
+//     SQL subset), CovarEngine and RangedCovarEngine (scalar COVAR over
+//     continuous attributes), and JoinEngine (the join result itself).
+//   - Open(Config) is the one entry point that compiles either a SQL
+//     query or a declarative relations+features config into the right
+//     engine, returning the kind-independent AnyEngine surface the
+//     serving layer hosts.
+//
+// Result-access convention: Payload/Result never fail (the empty join
+// yields the ring zero); typed accessors that derive structure from the
+// payload (Covar, Sigma, Ridge, MI) return a descriptive error on the
+// empty join. See Engine for details.
 //
 // A minimal session:
 //
-//	an, _ := fivm.NewAnalysis(fivm.AnalysisConfig{
+//	eng, _ := fivm.Open(fivm.Config{
 //	    Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}, ...},
 //	    Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}},
 //	})
+//	an := eng.(*fivm.Analysis)
 //	an.Init(initialTuples)
 //	an.Apply(updates)          // inserts and deletes
 //	sigma, _ := an.Covar()     // feeds ml.RidgeModel
@@ -27,7 +40,6 @@ import (
 	"repro/internal/m3"
 	"repro/internal/ml"
 	"repro/internal/query"
-	"repro/internal/relation"
 	"repro/internal/ring"
 	"repro/internal/value"
 	"repro/internal/view"
@@ -60,16 +72,27 @@ type AnalysisConfig struct {
 	// Order optionally supplies a hand-built variable order; when nil
 	// one is derived with the greedy heuristic.
 	Order *vo.Order
+	// Label optionally names the continuous feature the published
+	// AnalysisModel predicts (see PublishModel); empty disables ridge
+	// fitting in published models. Explicit Ridge calls are unaffected.
+	Label string
+	// Ridge configures the published model's solver; the zero value
+	// means ml.DefaultRidgeConfig().
+	Ridge ml.RidgeConfig
 }
 
 // Analysis maintains the generalized degree-m COVAR payload over the
-// natural join of the configured relations. It is not safe for
+// natural join of the configured relations — the flagship instantiation
+// of Engine over the relational-COVAR ring. It is not safe for
 // concurrent use.
 type Analysis struct {
-	tree  *view.Tree[*ring.RelCovar]
-	ring  ring.RelCovarRing
-	feats []ml.Feature
-	specs []FeatureSpec
+	*Engine[*ring.RelCovar]
+	ring      ring.RelCovarRing
+	feats     []ml.Feature
+	specs     []FeatureSpec
+	label     string
+	ridgeCfg  ml.RidgeConfig
+	binWidths map[string]float64
 }
 
 // NewAnalysis builds the engine: degree-m ring (m = len(Features)),
@@ -91,6 +114,8 @@ func NewAnalysis(cfg AnalysisConfig) (*Analysis, error) {
 	rg := ring.NewRelCovarRing(m)
 	lifts := make(map[string]ring.Lift[*ring.RelCovar], m)
 	feats := make([]ml.Feature, m)
+	binWidths := make(map[string]float64)
+	labelOK := false
 	for i, f := range cfg.Features {
 		if !attrs.Has(f.Attr) {
 			return nil, fmt.Errorf("fivm: feature %s not in any relation", f.Attr)
@@ -102,6 +127,7 @@ func NewAnalysis(cfg AnalysisConfig) (*Analysis, error) {
 		case f.BinWidth > 0:
 			lifts[f.Attr] = rg.LiftBinned(i, f.BinWidth)
 			feats[i] = ml.Feature{Name: f.Attr, Categorical: true, Index: i}
+			binWidths[f.Attr] = f.BinWidth
 		case f.Categorical:
 			lifts[f.Attr] = rg.LiftCategorical(i)
 			feats[i] = ml.Feature{Name: f.Attr, Categorical: true, Index: i}
@@ -109,6 +135,15 @@ func NewAnalysis(cfg AnalysisConfig) (*Analysis, error) {
 			lifts[f.Attr] = rg.LiftContinuous(i)
 			feats[i] = ml.Feature{Name: f.Attr, Categorical: false, Index: i}
 		}
+		if f.Attr == cfg.Label {
+			if feats[i].Categorical {
+				return nil, fmt.Errorf("fivm: label %s is categorical; ridge needs a continuous label", cfg.Label)
+			}
+			labelOK = true
+		}
+	}
+	if cfg.Label != "" && !labelOK {
+		return nil, fmt.Errorf("fivm: label %s is not a configured feature", cfg.Label)
 	}
 	tree, err := view.New(view.Spec[*ring.RelCovar]{
 		Ring:      rg,
@@ -119,51 +154,78 @@ func NewAnalysis(cfg AnalysisConfig) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{tree: tree, ring: rg, feats: feats, specs: cfg.Features}, nil
+	ridgeCfg := cfg.Ridge
+	if ridgeCfg == (ml.RidgeConfig{}) {
+		ridgeCfg = ml.DefaultRidgeConfig()
+	}
+	idx := make(map[string]int, len(cfg.Features))
+	for i, f := range cfg.Features {
+		idx[f.Attr] = i
+	}
+	a := &Analysis{
+		ring:      rg,
+		feats:     feats,
+		specs:     append([]FeatureSpec(nil), cfg.Features...),
+		label:     cfg.Label,
+		ridgeCfg:  ridgeCfg,
+		binWidths: binWidths,
+	}
+	a.Engine = NewEngine(KindAnalysis, tree, EngineOptions[*ring.RelCovar]{
+		Codec: ring.RelCovarCodec{Ring: rg},
+		Clone: (*ring.RelCovar).Clone,
+		M3: m3.RingInfo{
+			Name: fmt.Sprintf("RingCofactor<double, %d>", m),
+			LiftIndexOf: func(v string) int {
+				if i, ok := idx[v]; ok {
+					return i
+				}
+				return -1
+			},
+		},
+		Publish: a.publishModel,
+	})
+	return a, nil
 }
 
-// Init bulk-loads the initial database and evaluates all views.
-func (a *Analysis) Init(data map[string][]value.Tuple) error { return a.tree.Init(data) }
-
-// Apply maintains the payload under a batch of tuple-level updates
-// (Mult > 0 inserts, < 0 deletes).
-func (a *Analysis) Apply(ups []view.Update) error { return a.tree.ApplyUpdates(ups) }
-
-// ApplyDelta maintains the payload under a prebuilt delta relation.
-func (a *Analysis) ApplyDelta(rel string, d *relation.Map[*ring.RelCovar]) error {
-	return a.tree.ApplyDelta(rel, d)
+// publishModel builds the immutable AnalysisModel: a deep payload clone
+// plus — when a label is configured — a ridge refit warm-started from
+// the previously published optimum.
+func (a *Analysis) publishModel(prev Model) Model {
+	// Features and BinWidths are copied too, upholding the model's
+	// every-field-is-a-deep-copy contract — sharing the engine's own
+	// slice/map would turn any future mutation of them into a data race
+	// visible in every live snapshot.
+	binWidths := make(map[string]float64, len(a.binWidths))
+	for k, v := range a.binWidths {
+		binWidths[k] = v
+	}
+	m := &AnalysisModel{
+		Label:     a.label,
+		Payload:   a.ClonePayload(),
+		Features:  append([]ml.Feature(nil), a.feats...),
+		BinWidths: binWidths,
+	}
+	if a.label == "" {
+		return m
+	}
+	var warm *ml.RidgeModel
+	if p, ok := prev.(*AnalysisModel); ok && p != nil && p.Model != nil {
+		// Warm-start from the previously published optimum, on a clone
+		// so the published model is never mutated.
+		warm = p.Model.Clone()
+	}
+	model, sigma, err := RidgeFromPayload(m.Payload, m.Features, a.label, warm, a.ridgeCfg)
+	if err != nil {
+		m.FitErr = err.Error()
+	} else {
+		m.Model, m.Sigma = model, sigma
+	}
+	return m
 }
 
-// Payload returns the maintained compound aggregate (nil when the join
-// is empty).
-func (a *Analysis) Payload() *ring.RelCovar { return a.tree.ResultPayload() }
-
-// ClonePayload returns a deep copy of the maintained compound aggregate.
-// The clone shares nothing with the engine, so a snapshot publisher can
-// hand it to concurrent readers while the engine keeps applying deltas.
-func (a *Analysis) ClonePayload() *ring.RelCovar { return a.tree.ResultPayload().Clone() }
-
-// CloneView returns a deep copy of the maintained result view (keyed by
-// the query's free variables) with every payload cloned. Like
-// ClonePayload it shares nothing with the engine.
-func (a *Analysis) CloneView() *relation.Map[*ring.RelCovar] {
-	res := a.tree.Result()
-	out := relation.New[*ring.RelCovar](res.Schema())
-	res.Each(func(t value.Tuple, p *ring.RelCovar) { out.Set(t, p.Clone()) })
-	return out
-}
-
-// DeltaFor builds a delta relation for rel from tuple-level updates;
-// combined with view.Coalesce it lets an ingestion layer prepare batch
-// deltas off the maintenance thread and apply them with ApplyDelta. It
-// only reads immutable tree metadata, so it is safe to call concurrently
-// with maintenance.
-func (a *Analysis) DeltaFor(rel string, ups []view.Update) (*relation.Map[*ring.RelCovar], error) {
-	return a.tree.DeltaFor(rel, ups)
-}
-
-// RelationNames returns the input relation names, sorted.
-func (a *Analysis) RelationNames() []string { return a.tree.RelationNames() }
+// Label returns the configured serving label ("" when ridge fitting in
+// published models is disabled).
+func (a *Analysis) Label() string { return a.label }
 
 // Features returns the payload indexing metadata.
 func (a *Analysis) Features() []ml.Feature { return a.feats }
@@ -239,40 +301,6 @@ func RidgeFromPayload(payload *ring.RelCovar, feats []ml.Feature, label string, 
 	}
 	return model, sigma, nil
 }
-
-// ViewTree renders the maintained view tree — the Maintenance Strategy
-// tab's left pane.
-func (a *Analysis) ViewTree() string {
-	return m3.Render(a.tree, a.m3Info()).TreeDrawing
-}
-
-// M3 renders the per-view M3 code — the Maintenance Strategy tab's
-// right pane.
-func (a *Analysis) M3() string {
-	return m3.Render(a.tree, a.m3Info()).String()
-}
-
-func (a *Analysis) m3Info() m3.RingInfo {
-	idx := make(map[string]int, len(a.specs))
-	for i, f := range a.specs {
-		idx[f.Attr] = i
-	}
-	return m3.RingInfo{
-		Name: fmt.Sprintf("RingCofactor<double, %d>", len(a.specs)),
-		LiftIndexOf: func(v string) int {
-			if i, ok := idx[v]; ok {
-				return i
-			}
-			return -1
-		},
-	}
-}
-
-// Stats exposes maintenance counters.
-func (a *Analysis) Stats() view.Stats { return a.tree.Stats() }
-
-// Tree exposes the underlying view tree for advanced inspection.
-func (a *Analysis) Tree() *view.Tree[*ring.RelCovar] { return a.tree }
 
 // NewCatalog re-exports query catalog construction for the SQL surface.
 func NewCatalog() *query.Catalog { return query.NewCatalog() }

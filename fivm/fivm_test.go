@@ -230,14 +230,14 @@ func TestCountEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := fivm.NewCountEngine(q)
+	eng, err := fivm.NewCountEngine(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(toyData()); err != nil {
+	if err := eng.Init(toyData()); err != nil {
 		t.Fatal(err)
 	}
-	if got := eng.Tree.ResultPayload(); got != 3 {
+	if got := eng.Payload(); got != 3 {
 		t.Errorf("count = %d", got)
 	}
 
@@ -246,20 +246,20 @@ func TestCountEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engG, err := fivm.NewCountEngine(qg)
+	engG, err := fivm.NewCountEngine(qg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := engG.Tree.Init(toyData()); err != nil {
+	if err := engG.Init(toyData()); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := engG.Tree.Result().Get(value.T("a1")); got != 2 {
+	if got, _ := engG.Result().Get(value.T("a1")); got != 2 {
 		t.Errorf("count(a1) = %d", got)
 	}
 
 	// Rejections.
 	qb, _ := fivm.Parse(cat, "SELECT SUM(B) FROM R")
-	if _, err := fivm.NewCountEngine(qb); err == nil {
+	if _, err := fivm.NewCountEngine(qb, nil); err == nil {
 		t.Error("non-count query accepted by count engine")
 	}
 }
@@ -276,52 +276,52 @@ func TestFloatEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := fivm.NewFloatEngine(q)
+	eng, err := fivm.NewFloatEngine(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(toyData()); err != nil {
+	if err := eng.Init(toyData()); err != nil {
 		t.Fatal(err)
 	}
 	// SUM(B*D) over {(1,_,1),(1,_,3),(2,_,2)} = 1+3+4 = 8.
-	if got := eng.Tree.ResultPayload(); got != 8 {
+	if got := eng.Payload(); got != 8 {
 		t.Errorf("SUM(B*D) = %v, want 8", got)
 	}
 
 	// sq() factor function.
 	q2, _ := fivm.Parse(cat, "SELECT SUM(sq(D)) FROM S")
-	eng2, err := fivm.NewFloatEngine(q2)
+	eng2, err := fivm.NewFloatEngine(q2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng2.Tree.Init(map[string][]value.Tuple{"S": toyData()["S"]}); err != nil {
+	if err := eng2.Init(map[string][]value.Tuple{"S": toyData()["S"]}); err != nil {
 		t.Fatal(err)
 	}
-	if got := eng2.Tree.ResultPayload(); got != 14 { // 1+9+4
+	if got := eng2.Payload(); got != 14 { // 1+9+4
 		t.Errorf("SUM(D*D) = %v, want 14", got)
 	}
 
 	// Constant scaling folds into a lift.
 	q3, _ := fivm.Parse(cat, "SELECT SUM(2 * D) FROM S")
-	eng3, err := fivm.NewFloatEngine(q3)
+	eng3, err := fivm.NewFloatEngine(q3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng3.Tree.Init(map[string][]value.Tuple{"S": toyData()["S"]}); err != nil {
+	if err := eng3.Init(map[string][]value.Tuple{"S": toyData()["S"]}); err != nil {
 		t.Fatal(err)
 	}
-	if got := eng3.Tree.ResultPayload(); got != 12 {
+	if got := eng3.Payload(); got != 12 {
 		t.Errorf("SUM(2*D) = %v, want 12", got)
 	}
 
 	// Duplicate attribute factors are rejected with guidance.
 	qd, _ := fivm.Parse(cat, "SELECT SUM(D * D) FROM S")
-	if _, err := fivm.NewFloatEngine(qd); err == nil {
+	if _, err := fivm.NewFloatEngine(qd, nil); err == nil {
 		t.Error("SUM(D*D) accepted; must demand sq(D)")
 	}
 	// Unknown function.
 	qf, _ := fivm.Parse(cat, "SELECT SUM(cube(D)) FROM S")
-	if _, err := fivm.NewFloatEngine(qf); err == nil {
+	if _, err := fivm.NewFloatEngine(qf, nil); err == nil {
 		t.Error("unknown factor function accepted")
 	}
 }
@@ -335,7 +335,7 @@ func TestCovarEngineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(toyData()); err != nil {
+	if err := eng.Init(toyData()); err != nil {
 		t.Fatal(err)
 	}
 	p := eng.Payload()

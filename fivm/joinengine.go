@@ -3,6 +3,7 @@ package fivm
 import (
 	"fmt"
 
+	"repro/internal/m3"
 	"repro/internal/ring"
 	"repro/internal/value"
 	"repro/internal/view"
@@ -22,7 +23,7 @@ import (
 // join is larger and full of repeating values. Ablation A2 measures
 // exactly that, pitting JoinEngine against CovarEngine on one stream.
 type JoinEngine struct {
-	Tree *view.Tree[ring.RelVal]
+	*Engine[ring.RelVal]
 	// ResultAttrs names the attribute order of result tuples, following
 	// the variable order's marginalization sequence (deepest variable
 	// first).
@@ -76,20 +77,35 @@ func NewJoinEngine(rels []RelationSpec, order *vo.Order) (*JoinEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &JoinEngine{Tree: tree, ResultAttrs: attrs}, nil
+	e := &JoinEngine{ResultAttrs: attrs}
+	e.Engine = NewEngine(KindJoin, tree, EngineOptions[ring.RelVal]{
+		Codec: ring.RelValCodec{},
+		Clone: ring.RelVal.Clone,
+		M3:    m3.RingInfo{Name: "relation"},
+		Publish: func(Model) Model {
+			frozen := e.Engine.ClonePayload()
+			return &TableModel{
+				EngineKind: KindJoin,
+				build:      func() ([]TableRow, float64) { return sortedRelRows(frozen) },
+			}
+		},
+	})
+	return e, nil
 }
 
 // Result returns the maintained join result: a relational value mapping
 // each result tuple (decodable with value.DecodeTuple; attribute order
 // is NOT ResultAttrs order but the per-tuple lift application order —
-// use Tuples for a decoded view).
-func (e *JoinEngine) Result() ring.RelVal { return e.Tree.ResultPayload() }
+// use Tuples for a decoded view). It shadows the generic Engine.Result
+// (the result relation) with the join-shaped view.
+func (e *JoinEngine) Result() ring.RelVal { return e.Engine.Payload() }
 
 // Size returns the number of distinct tuples in the maintained join.
-func (e *JoinEngine) Size() int { return len(e.Tree.ResultPayload()) }
+func (e *JoinEngine) Size() int { return len(e.Engine.Payload()) }
 
 // Tuples decodes the maintained join result into tuples with
-// multiplicities, in unspecified order.
+// multiplicities, in unspecified order. Per the package convention an
+// empty join yields empty slices, not an error.
 func (e *JoinEngine) Tuples() ([]value.Tuple, []float64) {
 	res := e.Result()
 	ts := make([]value.Tuple, 0, len(res))

@@ -17,7 +17,7 @@ func TestJoinEngineMaintainsJoinResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(toyData()); err != nil {
+	if err := eng.Init(toyData()); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Size() != 3 {
@@ -44,7 +44,7 @@ func TestJoinEngineMaintainsJoinResult(t *testing.T) {
 		{Rel: "S", Tuple: value.T("a2", 9, 9), Mult: 1},
 		{Rel: "S", Tuple: value.T("a1", 2, 3), Mult: -1},
 	}
-	if err := eng.Tree.ApplyUpdates(ups); err != nil {
+	if err := eng.Apply(ups); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,7 +64,7 @@ func TestJoinEngineMaintainsJoinResult(t *testing.T) {
 		}
 	}
 	data["S"] = s2
-	if err := fresh.Tree.Init(data); err != nil {
+	if err := fresh.Init(data); err != nil {
 		t.Fatal(err)
 	}
 	if !eng.Result().Equal(fresh.Result()) {
@@ -93,7 +93,7 @@ func TestJoinEngineDeleteToEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Tree.Init(map[string][]value.Tuple{
+	if err := eng.Init(map[string][]value.Tuple{
 		"R": {value.T(1)},
 		"S": {value.T(1)},
 	}); err != nil {
@@ -102,7 +102,7 @@ func TestJoinEngineDeleteToEmpty(t *testing.T) {
 	if eng.Size() != 1 {
 		t.Fatalf("size = %d", eng.Size())
 	}
-	if err := eng.Tree.Delete("R", value.T(1)); err != nil {
+	if err := eng.Delete("R", value.T(1)); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Size() != 0 {

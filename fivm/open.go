@@ -1,0 +1,197 @@
+package fivm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ml"
+	"repro/internal/query"
+	"repro/internal/value"
+	"repro/internal/view"
+	"repro/internal/vo"
+)
+
+// AnyEngine is the kind-independent surface every engine shares — the
+// generic Engine[V] lifecycle with the payload type erased. It is what
+// Open returns and what the serving layer hosts; type-assert to the
+// concrete engine (*Analysis, *CountEngine, ...) for typed accessors.
+type AnyEngine interface {
+	// Kind identifies the engine instantiation.
+	Kind() Kind
+	// Init bulk-loads the initial database and evaluates all views.
+	Init(data map[string][]value.Tuple) error
+	// Apply maintains the views under tuple-level updates.
+	Apply(ups []view.Update) error
+	// Insert applies single-tuple inserts to rel.
+	Insert(rel string, tuples ...value.Tuple) error
+	// Delete applies single-tuple deletes to rel.
+	Delete(rel string, tuples ...value.Tuple) error
+	// BuildDelta prebuilds a delta for rel; safe concurrently with
+	// maintenance.
+	BuildDelta(rel string, ups []view.Update) (Delta, error)
+	// ApplyBuilt applies a delta from BuildDelta.
+	ApplyBuilt(rel string, d Delta) error
+	// PublishModel builds an immutable model of the current result.
+	PublishModel(prev Model) Model
+	// RelationNames returns the input relation names, sorted.
+	RelationNames() []string
+	// Arity returns the attribute count of input relation rel.
+	Arity(rel string) (int, bool)
+	// Stats exposes maintenance counters.
+	Stats() view.Stats
+	// ViewTree renders the maintained view tree.
+	ViewTree() string
+	// M3 renders the per-view maintenance code.
+	M3() string
+	// WriteSnapshot persists the input relations.
+	WriteSnapshot(w io.Writer) error
+	// ReadSnapshot restores input relations and re-evaluates views.
+	ReadSnapshot(r io.Reader) error
+}
+
+// Config declares a workload for Open: either a SQL query over the
+// declared relations (count/float kinds) or a declarative
+// relations+features/attrs spec (analysis/covar/join kinds). Kind may
+// be left empty to infer the engine from which fields are set.
+type Config struct {
+	// Kind forces a specific engine; empty infers one (see Open).
+	Kind Kind
+	// Query is SQL-subset text compiled against Relations, e.g.
+	// "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A".
+	Query string
+	// Relations declares the input relations of the join.
+	Relations []RelationSpec
+	// Features configures an Analysis engine.
+	Features []FeatureSpec
+	// Attrs configures a (Ranged)CovarEngine's aggregate attributes.
+	Attrs []string
+	// Label and Ridge configure the Analysis' published model (see
+	// AnalysisConfig).
+	Label string
+	Ridge ml.RidgeConfig
+	// Order optionally supplies a hand-built variable order.
+	Order *vo.Order
+}
+
+// Open is the single entry point of the package: it compiles cfg into
+// the right engine. Kind selects explicitly; when empty it is inferred —
+// a Query yields KindCount for SUM(1) and KindFloat otherwise, Features
+// yield KindAnalysis, Attrs yield KindCovar, and bare Relations yield
+// KindJoin.
+func Open(cfg Config) (AnyEngine, error) {
+	if len(cfg.Relations) == 0 {
+		return nil, fmt.Errorf("fivm: Open needs at least one relation")
+	}
+	// A workload is one of Query, Features, or Attrs; accepting several
+	// and resolving by precedence would silently build a different
+	// engine than one of the fields describes.
+	set := make([]string, 0, 3)
+	if cfg.Query != "" {
+		set = append(set, "Query")
+	}
+	if len(cfg.Features) > 0 {
+		set = append(set, "Features")
+	}
+	if len(cfg.Attrs) > 0 {
+		set = append(set, "Attrs")
+	}
+	if len(set) > 1 {
+		return nil, fmt.Errorf("fivm: ambiguous config: %s describe different engines; set at most one", strings.Join(set, " and "))
+	}
+	var q *query.Query
+	if cfg.Query != "" {
+		cat := NewCatalog()
+		for _, r := range cfg.Relations {
+			if err := cat.AddRelation(r.Name, r.Attrs...); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		q, err = Parse(cat, cfg.Query)
+		if err != nil {
+			return nil, err
+		}
+	}
+	kind := cfg.Kind
+	if kind == "" {
+		switch {
+		case q != nil:
+			if isCountQuery(q) {
+				kind = KindCount
+			} else {
+				kind = KindFloat
+			}
+		case len(cfg.Features) > 0:
+			kind = KindAnalysis
+		case len(cfg.Attrs) > 0:
+			kind = KindCovar
+		default:
+			kind = KindJoin
+		}
+	}
+	if cfg.Label != "" && kind != KindAnalysis {
+		return nil, fmt.Errorf("fivm: Label is only meaningful for the analysis engine, not %s (it publishes no ridge model)", kind)
+	}
+	if cfg.Ridge != (ml.RidgeConfig{}) && cfg.Label == "" {
+		return nil, fmt.Errorf("fivm: Ridge is only consumed when an analysis engine fits a published model; set Label too")
+	}
+	// With an explicit Kind a stray workload field would be silently
+	// dropped; reject it like the ambiguity above.
+	if cfg.Query != "" && kind != KindCount && kind != KindFloat {
+		return nil, fmt.Errorf("fivm: Query is not consumed by the %s engine", kind)
+	}
+	if len(cfg.Features) > 0 && kind != KindAnalysis {
+		return nil, fmt.Errorf("fivm: Features are not consumed by the %s engine", kind)
+	}
+	if len(cfg.Attrs) > 0 && kind != KindCovar && kind != KindRangedCovar {
+		return nil, fmt.Errorf("fivm: Attrs are not consumed by the %s engine", kind)
+	}
+	switch kind {
+	case KindAnalysis:
+		return NewAnalysis(AnalysisConfig{
+			Relations: cfg.Relations,
+			Features:  cfg.Features,
+			Order:     cfg.Order,
+			Label:     cfg.Label,
+			Ridge:     cfg.Ridge,
+		})
+	case KindCount:
+		if q == nil {
+			return nil, fmt.Errorf("fivm: %s engine needs a Query", kind)
+		}
+		return NewCountEngine(q, cfg.Order)
+	case KindFloat:
+		if q == nil {
+			return nil, fmt.Errorf("fivm: %s engine needs a Query", kind)
+		}
+		return NewFloatEngine(q, cfg.Order)
+	case KindCovar:
+		return NewCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
+	case KindRangedCovar:
+		return NewRangedCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
+	case KindJoin:
+		return NewJoinEngine(cfg.Relations, cfg.Order)
+	default:
+		return nil, fmt.Errorf("fivm: unknown engine kind %q", kind)
+	}
+}
+
+// isCountQuery reports whether the single aggregate is SUM(1).
+func isCountQuery(q *query.Query) bool {
+	if len(q.Aggregates) != 1 {
+		return false
+	}
+	fs := q.Aggregates[0].Factors
+	return len(fs) == 1 && fs[0].IsConst && fs[0].Const == 1
+}
+
+// Compile-time checks: every engine provides the unified surface.
+var (
+	_ AnyEngine = (*Analysis)(nil)
+	_ AnyEngine = (*CountEngine)(nil)
+	_ AnyEngine = (*FloatEngine)(nil)
+	_ AnyEngine = (*CovarEngine)(nil)
+	_ AnyEngine = (*RangedCovarEngine)(nil)
+	_ AnyEngine = (*JoinEngine)(nil)
+)

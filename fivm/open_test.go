@@ -1,0 +1,245 @@
+package fivm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/fivm"
+	"repro/internal/ml"
+	"repro/internal/query"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+func openRels() []fivm.RelationSpec {
+	return []fivm.RelationSpec{
+		{Name: "R", Attrs: []string{"A", "B"}},
+		{Name: "S", Attrs: []string{"A", "C", "D"}},
+	}
+}
+
+// Open infers the engine kind from which config fields are set, and the
+// returned AnyEngine drives the same lifecycle regardless of kind.
+func TestOpenKindInference(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  fivm.Config
+		want fivm.Kind
+	}{
+		{"count from SUM(1)", fivm.Config{Relations: openRels(), Query: "SELECT SUM(1) FROM R NATURAL JOIN S"}, fivm.KindCount},
+		{"float from SUM expr", fivm.Config{Relations: openRels(), Query: "SELECT SUM(B * D) FROM R NATURAL JOIN S"}, fivm.KindFloat},
+		{"analysis from features", fivm.Config{Relations: openRels(), Features: []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}}}, fivm.KindAnalysis},
+		{"covar from attrs", fivm.Config{Relations: openRels(), Attrs: []string{"B", "D"}}, fivm.KindCovar},
+		{"join from bare relations", fivm.Config{Relations: openRels()}, fivm.KindJoin},
+		{"ranged forced by kind", fivm.Config{Kind: fivm.KindRangedCovar, Relations: openRels(), Attrs: []string{"B", "D"}}, fivm.KindRangedCovar},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			eng, err := fivm.Open(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Kind() != c.want {
+				t.Fatalf("kind = %s, want %s", eng.Kind(), c.want)
+			}
+			// The shared lifecycle works identically on every kind.
+			if err := eng.Init(toyData()); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Apply([]view.Update{{Rel: "R", Tuple: value.T("a1", 5), Mult: 1}}); err != nil {
+				t.Fatal(err)
+			}
+			d, err := eng.BuildDelta("R", []view.Update{{Rel: "R", Tuple: value.T("a9", 9), Mult: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.ApplyBuilt("R", d); err != nil {
+				t.Fatal(err)
+			}
+			if got := eng.RelationNames(); len(got) != 2 {
+				t.Fatalf("RelationNames = %v", got)
+			}
+			if n, ok := eng.Arity("S"); !ok || n != 3 {
+				t.Fatalf("Arity(S) = %d, %v", n, ok)
+			}
+			if eng.Stats().Updates == 0 {
+				t.Fatal("stats not accumulating")
+			}
+			if eng.ViewTree() == "" || eng.M3() == "" {
+				t.Fatal("empty renderings")
+			}
+			m := eng.PublishModel(nil)
+			if m.Kind() != c.want {
+				t.Fatalf("model kind = %s, want %s", m.Kind(), c.want)
+			}
+		})
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := fivm.Open(fivm.Config{}); err == nil {
+		t.Error("no relations accepted")
+	}
+	if _, err := fivm.Open(fivm.Config{Kind: fivm.KindCount, Relations: openRels()}); err == nil {
+		t.Error("count kind without query accepted")
+	}
+	if _, err := fivm.Open(fivm.Config{Kind: "bogus", Relations: openRels()}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := fivm.Open(fivm.Config{Relations: openRels(), Query: "SELECT nope"}); err == nil {
+		t.Error("unparsable query accepted")
+	}
+	// Ambiguous configs are rejected, not resolved by precedence.
+	_, err := fivm.Open(fivm.Config{
+		Relations: openRels(),
+		Features:  []fivm.FeatureSpec{{Attr: "B"}},
+		Attrs:     []string{"B", "D"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("Features+Attrs: err = %v, want ambiguity rejection", err)
+	}
+	// A label on a non-analysis engine is a misconfiguration, not a
+	// silently ignored field.
+	_, err = fivm.Open(fivm.Config{
+		Relations: openRels(),
+		Query:     "SELECT SUM(B) FROM R NATURAL JOIN S",
+		Label:     "B",
+	})
+	if err == nil || !strings.Contains(err.Error(), "Label") {
+		t.Errorf("float+Label: err = %v, want label rejection", err)
+	}
+	// An explicit Kind must not silently drop a workload field meant
+	// for a different engine.
+	_, err = fivm.Open(fivm.Config{
+		Kind:      fivm.KindJoin,
+		Relations: openRels(),
+		Query:     "SELECT SUM(1) FROM R NATURAL JOIN S",
+	})
+	if err == nil || !strings.Contains(err.Error(), "not consumed") {
+		t.Errorf("join+Query: err = %v, want unconsumed-field rejection", err)
+	}
+	// A Ridge config without a Label is never consumed.
+	_, err = fivm.Open(fivm.Config{
+		Relations: openRels(),
+		Attrs:     []string{"B", "D"},
+		Ridge:     ml.RidgeConfig{Lambda: 0.5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Ridge") {
+		t.Errorf("covar+Ridge: err = %v, want ridge rejection", err)
+	}
+}
+
+// ApplyBuilt must reject deltas of a different engine's payload type
+// instead of panicking in the view layer.
+func TestApplyBuiltRejectsForeignDelta(t *testing.T) {
+	count, err := fivm.Open(fivm.Config{Relations: openRels(), Query: "SELECT SUM(1) FROM R NATURAL JOIN S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt, err := fivm.Open(fivm.Config{Relations: openRels(), Query: "SELECT SUM(B) FROM R NATURAL JOIN S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := count.BuildDelta("R", []view.Update{{Rel: "R", Tuple: value.T("a1", 1), Mult: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flt.ApplyBuilt("R", d); err == nil {
+		t.Fatal("float engine accepted a Z-ring delta")
+	}
+}
+
+// The count and float constructors must reject GROUP BY attributes that
+// are missing from the joined schema with a clear message — a hand-built
+// query bypasses Parse's catalog validation, and without this check the
+// failure surfaces as a confusing view-layer error.
+func TestEnginesRejectUnknownGroupBy(t *testing.T) {
+	rels := []query.Relation{
+		{Name: "R", Schema: value.NewSchema("A", "B")},
+	}
+	qc := &query.Query{
+		Aggregates: []query.Aggregate{{Factors: []query.Factor{{IsConst: true, Const: 1}}}},
+		Relations:  rels,
+		GroupBy:    []string{"Z"},
+	}
+	if _, err := fivm.NewCountEngine(qc, nil); err == nil || !strings.Contains(err.Error(), "GROUP BY attribute Z") {
+		t.Fatalf("count engine: err = %v, want GROUP BY validation failure", err)
+	}
+	qf := &query.Query{
+		Aggregates: []query.Aggregate{{Factors: []query.Factor{{Attr: "B"}}}},
+		Relations:  rels,
+		GroupBy:    []string{"Z"},
+	}
+	if _, err := fivm.NewFloatEngine(qf, nil); err == nil || !strings.Contains(err.Error(), "GROUP BY attribute Z") {
+		t.Fatalf("float engine: err = %v, want GROUP BY validation failure", err)
+	}
+}
+
+// The unified result-access convention: Payload never errors (ring zero
+// on the empty join); typed interpreters fail with a descriptive error.
+func TestEmptyJoinConvention(t *testing.T) {
+	rels := openRels()
+	cov, err := fivm.NewCovarEngine(rels, []string{"B", "D"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cov.Payload(); p != nil {
+		t.Fatalf("empty covar payload = %v, want nil (ring zero)", p)
+	}
+	if _, err := cov.Covar(); err == nil {
+		t.Fatal("Covar() on the empty join must fail")
+	}
+	ranged, err := fivm.NewRangedCovarEngine(rels, []string{"B", "D"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ranged.Payload(); p != nil {
+		t.Fatalf("empty ranged payload = %v, want nil (ring zero)", p)
+	}
+	if _, err := ranged.Covar(); err == nil {
+		t.Fatal("ranged Covar() on the empty join must fail")
+	}
+	if _, err := ranged.Sigma(); err == nil {
+		t.Fatal("ranged Sigma() on the empty join must fail")
+	}
+	join, err := fivm.NewJoinEngine(rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, ms := join.Tuples(); len(ts) != 0 || len(ms) != 0 {
+		t.Fatal("empty join must enumerate to empty slices")
+	}
+}
+
+// Published models are isolated deep copies: later maintenance must not
+// leak into them, for any engine kind.
+func TestPublishedModelsAreImmutable(t *testing.T) {
+	cfgs := []fivm.Config{
+		{Relations: openRels(), Query: "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"},
+		{Relations: openRels(), Query: "SELECT SUM(B * D) FROM R NATURAL JOIN S"},
+		{Relations: openRels(), Attrs: []string{"B", "D"}},
+		{Relations: openRels()},
+		{Relations: openRels(), Features: []fivm.FeatureSpec{{Attr: "B"}, {Attr: "D"}}, Label: "D"},
+	}
+	for _, cfg := range cfgs {
+		eng, err := fivm.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Init(toyData()); err != nil {
+			t.Fatal(err)
+		}
+		m := eng.PublishModel(nil)
+		before := m.Count()
+		if err := eng.Apply([]view.Update{{Rel: "R", Tuple: value.T("a1", 42), Mult: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Count(); got != before {
+			t.Fatalf("%s model count changed after maintenance: %v -> %v", eng.Kind(), before, got)
+		}
+		fresh := eng.PublishModel(m)
+		if fresh.Count() == before {
+			t.Fatalf("%s fresh model did not reflect the insert", eng.Kind())
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fivm
 import (
 	"fmt"
 
+	"repro/internal/m3"
 	"repro/internal/ml"
 	"repro/internal/ring"
 	"repro/internal/value"
@@ -19,7 +20,7 @@ import (
 // structural (post-)order so every payload product combines adjacent
 // ranges.
 type RangedCovarEngine struct {
-	Tree *view.Tree[*ring.RangedCovar]
+	*Engine[*ring.RangedCovar]
 	Ring ring.RangedCovarRing
 	// Attrs maps aggregate index -> attribute name (the structural
 	// assignment order, not the caller's order).
@@ -62,6 +63,7 @@ func NewRangedCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) 
 	var rg ring.RangedCovarRing
 	lifts := map[string]ring.Lift[*ring.RangedCovar]{}
 	var indexed []string
+	idx := map[string]int{}
 	var post func(n *vo.Node)
 	post = func(n *vo.Node) {
 		for _, c := range n.Children {
@@ -69,6 +71,7 @@ func NewRangedCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) 
 		}
 		if want[n.Var] {
 			lifts[n.Var] = rg.Lift(len(indexed))
+			idx[n.Var] = len(indexed)
 			indexed = append(indexed, n.Var)
 		}
 	}
@@ -88,24 +91,53 @@ func NewRangedCovarEngine(rels []RelationSpec, attrs []string, order *vo.Order) 
 	if err != nil {
 		return nil, err
 	}
-	return &RangedCovarEngine{Tree: tree, Ring: rg, Attrs: indexed}, nil
+	e := &RangedCovarEngine{Ring: rg, Attrs: indexed}
+	e.Engine = NewEngine(KindRangedCovar, tree, EngineOptions[*ring.RangedCovar]{
+		Codec: ring.RangedCovarCodec{},
+		Clone: (*ring.RangedCovar).Clone,
+		M3: m3.RingInfo{
+			Name: "RingCofactor<double, idx, cnt>",
+			LiftIndexOf: func(v string) int {
+				if i, ok := idx[v]; ok {
+					return i
+				}
+				return -1
+			},
+		},
+		Publish: func(Model) Model {
+			m := &CovarModel{EngineKind: KindRangedCovar, Attrs: e.Attrs}
+			p, err := e.Covar()
+			if err != nil {
+				m.Err = err.Error()
+			} else {
+				m.Payload = p.Clone()
+			}
+			return m
+		},
+	})
+	return e, nil
 }
 
-// Payload returns the root compound aggregate widened to a full Covar
-// of degree len(Attrs); nil when the join is empty.
-func (e *RangedCovarEngine) Payload() (*ring.Covar, error) {
-	return e.Tree.ResultPayload().ToCovar(len(e.Attrs))
-}
-
-// Sigma converts the payload into the solver's SigmaMatrix with columns
-// in e.Attrs order.
-func (e *RangedCovarEngine) Sigma() (*ml.SigmaMatrix, error) {
-	p, err := e.Payload()
+// Covar widens the root compound aggregate to a full Covar of degree
+// len(Attrs), failing on the empty join per the package's result-access
+// convention. Use Payload for the raw ranged (possibly nil) value.
+func (e *RangedCovarEngine) Covar() (*ring.Covar, error) {
+	p, err := e.Payload().ToCovar(len(e.Attrs))
 	if err != nil {
 		return nil, err
 	}
 	if p == nil {
 		return nil, fmt.Errorf("fivm: empty join result")
+	}
+	return p, nil
+}
+
+// Sigma converts the payload into the solver's SigmaMatrix with columns
+// in e.Attrs order.
+func (e *RangedCovarEngine) Sigma() (*ml.SigmaMatrix, error) {
+	p, err := e.Covar()
+	if err != nil {
+		return nil, err
 	}
 	feats := make([]ml.Feature, len(e.Attrs))
 	for i, a := range e.Attrs {

@@ -33,10 +33,10 @@ func TestRangedEngineMatchesFullEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := db.TupleMap()
-	if err := full.Tree.Init(data); err != nil {
+	if err := full.Init(data); err != nil {
 		t.Fatal(err)
 	}
-	if err := ranged.Tree.Init(data); err != nil {
+	if err := ranged.Init(data); err != nil {
 		t.Fatal(err)
 	}
 
@@ -55,7 +55,7 @@ func TestRangedEngineMatchesFullEngine(t *testing.T) {
 	check := func(when string) {
 		t.Helper()
 		fp := full.Payload()
-		rp, err := ranged.Payload()
+		rp, err := ranged.Payload().ToCovar(len(ranged.Attrs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,10 +92,10 @@ func TestRangedEngineMatchesFullEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, bulk := range st.Bulks(80) {
-		if err := full.Tree.ApplyUpdates(bulk); err != nil {
+		if err := full.Apply(bulk); err != nil {
 			t.Fatal(err)
 		}
-		if err := ranged.Tree.ApplyUpdates(bulk); err != nil {
+		if err := ranged.Apply(bulk); err != nil {
 			t.Fatal(err)
 		}
 		check("after bulk")

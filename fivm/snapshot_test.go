@@ -1,0 +1,175 @@
+package fivm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/fivm"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// snapshotRoundTrip writes eng's snapshot, restores it into fresh, and
+// verifies both engines agree now and keep agreeing after further
+// updates (equality judged by the published models' JSON rendering,
+// which covers the full result for every kind).
+func snapshotRoundTrip(t *testing.T, eng, fresh fivm.AnyEngine) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sameModels := func(when string) {
+		t.Helper()
+		a, aErr := eng.PublishModel(nil).ResultJSON()
+		b, bErr := fresh.PublishModel(nil).ResultJSON()
+		if (aErr == nil) != (bErr == nil) {
+			t.Fatalf("%s: result errors diverge: %v vs %v", when, aErr, bErr)
+		}
+		if got, want := jsonString(t, b), jsonString(t, a); got != want {
+			t.Fatalf("%s: restored model %s != original %s", when, got, want)
+		}
+	}
+	sameModels("after restore")
+	// Restored engines keep maintaining in lockstep.
+	ups := []view.Update{
+		{Rel: "R", Tuple: value.T("a3", 7), Mult: 1},
+		{Rel: "S", Tuple: value.T("a3", 9, 9), Mult: 1},
+	}
+	if err := eng.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+	sameModels("after further updates")
+}
+
+func jsonString(t *testing.T, v any) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := encodeJSON(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSnapshotRoundTripAllKinds covers the generic codec path for every
+// engine kind (Analysis has its own longer-standing test in fivm_test).
+func TestSnapshotRoundTripAllKinds(t *testing.T) {
+	cfgs := map[string]fivm.Config{
+		"count":       {Relations: openRels(), Query: "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"},
+		"float":       {Relations: openRels(), Query: "SELECT SUM(B * D) FROM R NATURAL JOIN S"},
+		"covar":       {Relations: openRels(), Attrs: []string{"B", "D"}},
+		"rangedcovar": {Kind: fivm.KindRangedCovar, Relations: openRels(), Attrs: []string{"B", "D"}},
+		"join":        {Relations: openRels()},
+		"analysis":    {Relations: openRels(), Features: []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}, {Attr: "D"}}, Label: "D"},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			eng, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Init(toyData()); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Apply([]view.Update{{Rel: "R", Tuple: value.T("a2", 11), Mult: 1}}); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapshotRoundTrip(t, eng, fresh)
+		})
+	}
+}
+
+// A snapshot written by one engine kind must be rejected by another:
+// the codec tag in the header fails fast instead of misparsing payload
+// bytes.
+func TestSnapshotRejectsForeignEngineKind(t *testing.T) {
+	count, err := fivm.Open(fivm.Config{Relations: openRels(), Query: "SELECT SUM(1) FROM R NATURAL JOIN S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := count.Init(toyData()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := count.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	flt, err := fivm.Open(fivm.Config{Relations: openRels(), Query: "SELECT SUM(B) FROM R NATURAL JOIN S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = flt.ReadSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("restoring a count snapshot into a float engine: err = %v, want codec mismatch", err)
+	}
+}
+
+// Same kind, different degree (e.g. an operator restarts fivm-serve
+// with a changed -attrs list against an existing -state file) must also
+// fail fast on the codec tag — the wire format depends on the degree.
+func TestSnapshotRejectsDegreeMismatch(t *testing.T) {
+	wide, err := fivm.NewCovarEngine(openRels(), []string{"B", "C", "D"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Init(toyData()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wide.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := fivm.NewCovarEngine(openRels(), []string{"B", "D"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = narrow.ReadSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("restoring degree-3 snapshot into degree-2 engine: err = %v, want codec mismatch", err)
+	}
+
+	// The generalized ring takes the same guard.
+	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
+		Relations: openRels(),
+		Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "D"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Init(toyData()); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := an.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	an3, err := fivm.NewAnalysis(fivm.AnalysisConfig{
+		Relations: openRels(),
+		Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}, {Attr: "D"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = an3.ReadSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("restoring 2-feature analysis snapshot into 3-feature engine: err = %v, want codec mismatch", err)
+	}
+}
+
+// encodeJSON is a tiny helper kept local to the test file.
+func encodeJSON(b *bytes.Buffer, v any) error {
+	enc := json.NewEncoder(b)
+	return enc.Encode(v)
+}

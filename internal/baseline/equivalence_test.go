@@ -60,7 +60,7 @@ func TestCovarEquivalenceAcrossStrategies(t *testing.T) {
 	}
 
 	data := db.TupleMap()
-	if err := eng.Tree.Init(data); err != nil {
+	if err := eng.Init(data); err != nil {
 		t.Fatalf("fivm Init: %v", err)
 	}
 	if err := flat.Init(data); err != nil {
@@ -107,7 +107,7 @@ func TestCovarEquivalenceAcrossStrategies(t *testing.T) {
 		t.Fatalf("NewStream: %v", err)
 	}
 	for i, bulk := range stream.Bulks(100) {
-		if err := eng.Tree.ApplyUpdates(bulk); err != nil {
+		if err := eng.Apply(bulk); err != nil {
 			t.Fatalf("fivm Apply bulk %d: %v", i, err)
 		}
 		if err := flat.Apply(bulk); err != nil {
@@ -134,7 +134,7 @@ func TestEquivalenceMultiRelationUpdates(t *testing.T) {
 		t.Fatalf("NewReeval: %v", err)
 	}
 	data := db.TupleMap()
-	if err := eng.Tree.Init(data); err != nil {
+	if err := eng.Init(data); err != nil {
 		t.Fatalf("fivm Init: %v", err)
 	}
 	if err := re.Init(data); err != nil {
@@ -151,7 +151,7 @@ func TestEquivalenceMultiRelationUpdates(t *testing.T) {
 			j = len(ups)
 		}
 		bulk := ups[i:j]
-		if err := eng.Tree.ApplyUpdates(bulk); err != nil {
+		if err := eng.Apply(bulk); err != nil {
 			t.Fatalf("fivm Apply: %v", err)
 		}
 		if err := re.Apply(bulk); err != nil {

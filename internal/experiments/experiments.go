@@ -144,10 +144,10 @@ func E2(sc Scale, deleteRatio float64) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Tree.Init(data); err != nil {
+	if err := eng.Init(data); err != nil {
 		return nil, err
 	}
-	r, err := measure("F-IVM (COVAR ring)", ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+	r, err := measure("F-IVM (COVAR ring)", ups, sc.BatchSize, eng.Apply)
 	if err != nil {
 		return nil, err
 	}

@@ -26,11 +26,11 @@ func E7BatchSize(sc Scale, sizes []int) ([]SweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+		if err := eng.Init(s.db.TupleMap()); err != nil {
 			return nil, err
 		}
 		ups := s.stream(sc.StreamLen, 0.2, 5)
-		r, err := measure(fmt.Sprintf("batch=%d", b), ups, b, eng.Tree.ApplyUpdates)
+		r, err := measure(fmt.Sprintf("batch=%d", b), ups, b, eng.Apply)
 		if err != nil {
 			return nil, err
 		}
@@ -70,11 +70,11 @@ func E7AggCount(sc Scale, ms []int) ([]SweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+		if err := eng.Init(s.db.TupleMap()); err != nil {
 			return nil, err
 		}
 		ups := s.stream(sc.StreamLen, 0.2, 6)
-		r, err := measure(fmt.Sprintf("m=%d", m), ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+		r, err := measure(fmt.Sprintf("m=%d", m), ups, sc.BatchSize, eng.Apply)
 		if err != nil {
 			return nil, err
 		}
@@ -102,10 +102,10 @@ func A1Sharing(sc Scale, m int) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Tree.Init(data); err != nil {
+	if err := eng.Init(data); err != nil {
 		return nil, err
 	}
-	r, err := measure("compound COVAR ring (shared)", ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+	r, err := measure("compound COVAR ring (shared)", ups, sc.BatchSize, eng.Apply)
 	if err != nil {
 		return nil, err
 	}
@@ -127,14 +127,14 @@ func A1Sharing(sc Scale, m int) ([]Throughput, error) {
 		if err != nil {
 			return err
 		}
-		fe, err := fivm.NewFloatEngine(q)
+		fe, err := fivm.NewFloatEngine(q, nil)
 		if err != nil {
 			return err
 		}
-		if err := fe.Tree.Init(data); err != nil {
+		if err := fe.Init(data); err != nil {
 			return err
 		}
-		trees = append(trees, fe.Tree)
+		trees = append(trees, fe.Tree())
 		return nil
 	}
 	if err := addTree("SUM(1)"); err != nil {
@@ -181,11 +181,11 @@ func A3Deletes(sc Scale, ratios []float64) ([]SweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := eng.Tree.Init(s.db.TupleMap()); err != nil {
+		if err := eng.Init(s.db.TupleMap()); err != nil {
 			return nil, err
 		}
 		ups := s.stream(sc.StreamLen, dr, 8)
-		r, err := measure(fmt.Sprintf("deleteRatio=%.2f", dr), ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+		r, err := measure(fmt.Sprintf("deleteRatio=%.2f", dr), ups, sc.BatchSize, eng.Apply)
 		if err != nil {
 			return nil, err
 		}
@@ -217,10 +217,10 @@ func A2Factorization(sc Scale) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Tree.Init(data); err != nil {
+	if err := eng.Init(data); err != nil {
 		return nil, err
 	}
-	r, err := measure("gradient (COVAR payloads)", ups, sc.BatchSize, eng.Tree.ApplyUpdates)
+	r, err := measure("gradient (COVAR payloads)", ups, sc.BatchSize, eng.Apply)
 	if err != nil {
 		return nil, err
 	}
@@ -232,10 +232,10 @@ func A2Factorization(sc Scale) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := je.Tree.Init(data); err != nil {
+	if err := je.Init(data); err != nil {
 		return nil, err
 	}
-	r, err = measure("join result (relational payloads)", ups, sc.BatchSize, je.Tree.ApplyUpdates)
+	r, err = measure("join result (relational payloads)", ups, sc.BatchSize, je.Apply)
 	if err != nil {
 		return nil, err
 	}
@@ -263,11 +263,11 @@ func A4RangedPayloads(sc Scale, m int) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := full.Tree.Init(data); err != nil {
+	if err := full.Init(data); err != nil {
 		return nil, err
 	}
 	ups := s.stream(sc.StreamLen, 0.2, 10)
-	r, err := measure("full-degree payloads everywhere", ups, sc.BatchSize, full.Tree.ApplyUpdates)
+	r, err := measure("full-degree payloads everywhere", ups, sc.BatchSize, full.Apply)
 	if err != nil {
 		return nil, err
 	}
@@ -278,10 +278,10 @@ func A4RangedPayloads(sc Scale, m int) ([]Throughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := ranged.Tree.Init(data); err != nil {
+	if err := ranged.Init(data); err != nil {
 		return nil, err
 	}
-	r, err = measure("ranged payloads (RingCofactor<d,idx,cnt>)", ups, sc.BatchSize, ranged.Tree.ApplyUpdates)
+	r, err = measure("ranged payloads (RingCofactor<d,idx,cnt>)", ups, sc.BatchSize, ranged.Apply)
 	if err != nil {
 		return nil, err
 	}

@@ -160,8 +160,13 @@ func (RelValCodec) Decode(r io.Reader) (RelVal, error) {
 }
 
 // CovarCodec serializes degree-m matrix-ring payloads. The codec is
-// bound to a ring so degree mismatches are caught at decode time.
+// bound to a ring; the wire format depends on the degree, which Tag
+// exposes so snapshot headers can reject a mismatched configuration
+// before misparsing payload bytes.
 type CovarCodec struct{ Ring CovarRing }
+
+// Tag names this codec configuration, including the degree.
+func (c CovarCodec) Tag() string { return fmt.Sprintf("ring.CovarCodec[m=%d]", c.Ring.m) }
 
 // Encode writes a presence flag, the degree, and the flat components.
 func (c CovarCodec) Encode(w io.Writer, v *Covar) error {
@@ -216,8 +221,86 @@ func (c CovarCodec) Decode(r io.Reader) (*Covar, error) {
 	return out, nil
 }
 
-// RelCovarCodec serializes generalized degree-m payloads.
+// RangedCovarCodec serializes ranged degree-m payloads. Ranges are
+// self-describing, so the codec needs no ring binding.
+type RangedCovarCodec struct{}
+
+// Encode writes a presence flag, the range, and the flat components.
+func (RangedCovarCodec) Encode(w io.Writer, v *RangedCovar) error {
+	if v == nil {
+		return writeUvarint(w, 0)
+	}
+	if err := writeUvarint(w, 1); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(v.Start)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(v.N)); err != nil {
+		return err
+	}
+	if err := writeFloat(w, v.C); err != nil {
+		return err
+	}
+	for _, s := range v.S {
+		if err := writeFloat(w, s); err != nil {
+			return err
+		}
+	}
+	for _, q := range v.Q {
+		if err := writeFloat(w, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one payload (nil for the zero flag).
+func (RangedCovarCodec) Decode(r io.Reader) (*RangedCovar, error) {
+	flag, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if flag == 0 {
+		return nil, nil
+	}
+	start, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	// Real degrees are the query's aggregate count — tens at most. A
+	// loose bound here would still let a corrupt snapshot drive the
+	// quadratic Q allocation (n*(n+1)/2 floats) to terabytes.
+	if n > 1<<10 {
+		return nil, fmt.Errorf("ring: ranged payload degree %d exceeds limit", n)
+	}
+	out := &RangedCovar{Start: int(start), N: int(n), S: make([]float64, n), Q: make([]float64, n*(n+1)/2)}
+	if out.C, err = readFloat(r); err != nil {
+		return nil, err
+	}
+	for i := range out.S {
+		if out.S[i], err = readFloat(r); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out.Q {
+		if out.Q[i], err = readFloat(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RelCovarCodec serializes generalized degree-m payloads. Like
+// CovarCodec its wire format depends on the degree, exposed via Tag.
 type RelCovarCodec struct{ Ring RelCovarRing }
+
+// Tag names this codec configuration, including the degree.
+func (c RelCovarCodec) Tag() string { return fmt.Sprintf("ring.RelCovarCodec[m=%d]", c.Ring.m) }
 
 // Encode writes a presence flag and the relational components.
 func (c RelCovarCodec) Encode(w io.Writer, v *RelCovar) error {

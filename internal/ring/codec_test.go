@@ -143,3 +143,48 @@ func TestBufferedEncode(t *testing.T) {
 		}
 	}
 }
+
+func TestRangedCovarCodec(t *testing.T) {
+	var c RangedCovarCodec
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(4)
+		v := &RangedCovar{Start: rng.Intn(3), N: n, C: rng.NormFloat64(), S: make([]float64, n), Q: make([]float64, n*(n+1)/2)}
+		for j := range v.S {
+			v.S[j] = rng.NormFloat64()
+		}
+		for j := range v.Q {
+			v.Q[j] = rng.NormFloat64()
+		}
+		got := roundTrip[*RangedCovar](t, c, v)
+		if !got.Equal(v) {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+	if got := roundTrip[*RangedCovar](t, c, nil); got != nil {
+		t.Errorf("nil decoded to %v", got)
+	}
+}
+
+func TestCovarClone(t *testing.T) {
+	gen := randCovar(3)
+	rng := rand.New(rand.NewSource(10))
+	v := gen(rng)
+	for v == nil {
+		v = gen(rng)
+	}
+	cl := v.Clone()
+	if !cl.Equal(v) {
+		t.Fatalf("clone %v != source %v", cl, v)
+	}
+	cl.S[0] += 1
+	if cl.Equal(v) {
+		t.Fatal("clone shares backing storage with source")
+	}
+	if (*Covar)(nil).Clone() != nil {
+		t.Fatal("nil clone must be nil")
+	}
+	if (*RangedCovar)(nil).Clone() != nil {
+		t.Fatal("nil ranged clone must be nil")
+	}
+}

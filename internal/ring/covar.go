@@ -31,6 +31,20 @@ func triIndex(m, i, j int) int { return i*m - i*(i-1)/2 + (j - i) }
 // Degree returns the ring degree m.
 func (c *Covar) Degree() int { return c.m }
 
+// Clone returns a deep copy of c; cloning nil (the ring zero) returns
+// nil. Payloads are immutable under ring operations, but a clone lets a
+// snapshot publisher hand the value to concurrent readers without any
+// aliasing question.
+func (c *Covar) Clone() *Covar {
+	if c == nil {
+		return nil
+	}
+	out := &Covar{m: c.m, C: c.C, S: make([]float64, len(c.S)), Q: make([]float64, len(c.Q))}
+	copy(out.S, c.S)
+	copy(out.Q, c.Q)
+	return out
+}
+
 // Count returns the scalar count aggregate c (0 for the nil zero).
 func (c *Covar) Count() float64 {
 	if c == nil {

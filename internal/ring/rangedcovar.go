@@ -31,6 +31,18 @@ type RangedCovar struct {
 	Q     []float64 // packed upper triangle, length N*(N+1)/2
 }
 
+// Clone returns a deep copy of c; cloning nil (the ring zero) returns
+// nil.
+func (c *RangedCovar) Clone() *RangedCovar {
+	if c == nil {
+		return nil
+	}
+	out := &RangedCovar{Start: c.Start, N: c.N, C: c.C, S: make([]float64, len(c.S)), Q: make([]float64, len(c.Q))}
+	copy(out.S, c.S)
+	copy(out.Q, c.Q)
+	return out
+}
+
 // Count returns the scalar count component (0 for nil).
 func (c *RangedCovar) Count() float64 {
 	if c == nil {

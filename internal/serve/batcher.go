@@ -3,20 +3,16 @@ package serve
 import (
 	"sync"
 
-	"repro/internal/relation"
-	"repro/internal/ring"
 	"repro/internal/view"
 )
-
-// deltaRel is the concrete delta type of the Analysis engine's ring.
-type deltaRel = *relation.Map[*ring.RelCovar]
 
 // runBatcher drains one relation's shard channel. Each round it greedily
 // collects whatever is queued (up to MaxBatch raw updates), coalesces
 // same-tuple updates by summing multiplicities, prebuilds the delta
 // relation — all off the maintenance thread — and hands the batch to the
 // writer. Building deltas here only touches immutable tree metadata
-// (fivm.Analysis.DeltaFor), so batchers run concurrently with the writer.
+// (Maintainable.BuildDelta), so batchers run concurrently with the
+// writer.
 func (s *Server) runBatcher(sh *shard) {
 	defer s.batchers.Done()
 	for msg := range sh.ch {
@@ -38,7 +34,7 @@ func (s *Server) runBatcher(sh *shard) {
 			}
 		}
 		coalesced := view.Coalesce(ups)
-		delta, err := s.an.DeltaFor(sh.rel, coalesced)
+		delta, err := s.eng.BuildDelta(sh.rel, coalesced)
 		if err != nil {
 			// Unreachable: the relation was validated at Ingest and the
 			// updates carry no schema. Release waiters and drop.
@@ -64,7 +60,7 @@ func (s *Server) runWriter() {
 	for {
 		select {
 		case req := <-s.exec:
-			req.fn(s.an)
+			req.fn(s.eng)
 			close(req.done)
 		case b, ok := <-s.batches:
 			if !ok {
@@ -104,7 +100,7 @@ func (s *Server) runWriter() {
 // applyBatch applies one delta to the engine and returns the waiters to
 // release after the next publish.
 func (s *Server) applyBatch(b batch) []*sync.WaitGroup {
-	if err := s.an.ApplyDelta(b.rel, b.delta); err != nil {
+	if err := s.eng.ApplyBuilt(b.rel, b.delta); err != nil {
 		s.nApplyErrs++
 		s.lastErr = err.Error()
 	} else {

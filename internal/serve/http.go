@@ -10,13 +10,17 @@ import (
 	"repro/internal/view"
 )
 
-// NewHandler exposes a Server over HTTP/JSON:
+// NewHandler exposes a Server over HTTP/JSON. The surface is identical
+// for every hosted engine kind; /model renders the engine's own model
+// shape (ridge weights for analysis, rows for count/float/join, the
+// compound aggregate for COVAR):
 //
 //	POST /update    {"updates":[{"rel":"R","tuple":[1,2.5,"x"],"mult":1}]}
 //	                ?wait=1 blocks until the batch is applied and a
 //	                snapshot reflecting it is published
 //	GET  /predict   ?attr=value&... one query parameter per feature
-//	GET  /model     the published ridge model (weights by column label)
+//	                (analysis engines with a label only)
+//	GET  /model     the published model, rendered per engine kind
 //	GET  /stats     serving + maintenance counters
 //	GET  /viewtree  the maintained view tree (text)
 //	GET  /healthz   liveness
@@ -28,7 +32,7 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /viewtree", s.handleViewTree)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.Snapshot().Version})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "kind": s.Kind(), "version": s.Snapshot().Version})
 	})
 	return mux
 }
@@ -106,56 +110,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"prediction": p,
-		"label":      snap.Label,
 		"version":    snap.Version,
 		"count":      snap.Count(),
 	})
 }
 
+// handleModel renders the published model per engine kind. The body is
+// the model's own JSON shape with "version" and "kind" merged in.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
-	if snap.Model == nil {
-		msg := snap.FitErr
-		if msg == "" {
-			msg = "model fitting is disabled (no label configured)"
-		}
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("%s", msg))
+	body, err := snap.Model.ResultJSON()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	type weightJSON struct {
-		Column string  `json:"column"`
-		Weight float64 `json:"weight"`
+	out, ok := body.(map[string]any)
+	if !ok {
+		out = map[string]any{"result": body}
 	}
-	weights := make([]weightJSON, 0, snap.Sigma.Dim())
-	for i, col := range snap.Sigma.Cols {
-		if i == snap.Model.LabelCol {
-			continue
-		}
-		weights = append(weights, weightJSON{Column: col.Label(), Weight: snap.Model.Weights[i]})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version":    snap.Version,
-		"label":      snap.Label,
-		"count":      snap.Count(),
-		"intercept":  snap.Model.Intercept,
-		"weights":    weights,
-		"converged":  snap.Model.Converged,
-		"iterations": snap.Model.Iterations,
-		"train_rmse": snap.Model.TrainRMSE(snap.Sigma),
-	})
+	out["version"] = snap.Version
+	out["kind"] = snap.Kind
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":     st.Ingested,
-		"applied":      st.Applied,
-		"batches":      st.Batches,
-		"delta_tuples": st.DeltaTuples,
-		"snapshots":    st.Snapshots,
-		"apply_errors": st.ApplyErrors,
-		"last_error":   st.LastError,
-		"view_updates": st.View.Updates,
+		"kind":              s.Kind(),
+		"ingested":          st.Ingested,
+		"applied":           st.Applied,
+		"batches":           st.Batches,
+		"delta_tuples":      st.DeltaTuples,
+		"snapshots":         st.Snapshots,
+		"apply_errors":      st.ApplyErrors,
+		"last_error":        st.LastError,
+		"view_updates":      st.View.Updates,
 		"view_delta_tuples": st.View.DeltaTuples,
 	})
 }

@@ -19,11 +19,12 @@ func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
 	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
 		Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"X", "Y"}}},
 		Features:  []fivm.FeatureSpec{{Attr: "X"}, {Attr: "Y"}},
+		Label:     "Y",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(an, Config{Label: "Y"})
+	srv, err := New(an, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,5 +175,152 @@ func TestHTTPBadRequests(t *testing.T) {
 	code, _ := getJSON(t, ts.URL+"/predict") // missing features
 	if code != http.StatusUnprocessableEntity {
 		t.Fatalf("predict without features = %d, want 422", code)
+	}
+}
+
+// newEngineServer hosts an arbitrary engine kind behind the HTTP
+// handler — the decoupling the Maintainable interface buys: the same
+// pipeline serves count, float, COVAR, and join workloads.
+func newEngineServer(t *testing.T, cfg fivm.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+var twoRelations = []fivm.RelationSpec{
+	{Name: "R", Attrs: []string{"A", "B"}},
+	{Name: "S", Attrs: []string{"B", "C"}},
+}
+
+// seedBody joins R(A,B) rows 1:1 against S(B,C): 6 R rows over 2 S rows.
+const seedBody = `{"updates":[
+	{"rel":"S","tuple":[0,10]},
+	{"rel":"S","tuple":[1,20]},
+	{"rel":"R","tuple":[1,0]},
+	{"rel":"R","tuple":[2,0]},
+	{"rel":"R","tuple":[3,0]},
+	{"rel":"R","tuple":[4,1]},
+	{"rel":"R","tuple":[5,1]},
+	{"rel":"R","tuple":[6,1]}]}`
+
+func TestHTTPServeCountEngine(t *testing.T) {
+	_, ts := newEngineServer(t, fivm.Config{
+		Relations: twoRelations,
+		Query:     "SELECT B, SUM(1) FROM R NATURAL JOIN S GROUP BY B",
+	})
+	postUpdates(t, ts, seedBody)
+
+	code, model := getJSON(t, ts.URL+"/model")
+	if code != http.StatusOK {
+		t.Fatalf("GET /model = %d: %v", code, model)
+	}
+	if model["kind"] != "count" {
+		t.Fatalf("kind = %v, want count", model["kind"])
+	}
+	if model["total"].(float64) != 6 {
+		t.Fatalf("total = %v, want 6", model["total"])
+	}
+	rows := model["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2 groups", rows)
+	}
+	// Deleting one group's S row erases its 3 joined tuples.
+	postUpdates(t, ts, `{"updates":[{"rel":"S","tuple":[0,10],"mult":-1}]}`)
+	_, model = getJSON(t, ts.URL+"/model")
+	if model["total"].(float64) != 3 {
+		t.Fatalf("total after delete = %v, want 3", model["total"])
+	}
+	// Non-analysis engines refuse /predict with a clear error.
+	code, _ = getJSON(t, ts.URL+"/predict?A=1")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("GET /predict on count engine = %d, want 422", code)
+	}
+}
+
+func TestHTTPServeFloatEngine(t *testing.T) {
+	_, ts := newEngineServer(t, fivm.Config{
+		Relations: twoRelations,
+		Query:     "SELECT SUM(A * C) FROM R NATURAL JOIN S",
+	})
+	postUpdates(t, ts, seedBody)
+
+	code, model := getJSON(t, ts.URL+"/model")
+	if code != http.StatusOK {
+		t.Fatalf("GET /model = %d: %v", code, model)
+	}
+	if model["kind"] != "float" {
+		t.Fatalf("kind = %v, want float", model["kind"])
+	}
+	// SUM(A*C) = (1+2+3)*10 + (4+5+6)*20 = 360.
+	if model["total"].(float64) != 360 {
+		t.Fatalf("total = %v, want 360", model["total"])
+	}
+
+	code, stats := getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK || stats["ingested"].(float64) != 8 {
+		t.Fatalf("GET /stats = %d: %v", code, stats)
+	}
+}
+
+func TestHTTPServeCovarEngine(t *testing.T) {
+	_, ts := newEngineServer(t, fivm.Config{
+		Relations: twoRelations,
+		Attrs:     []string{"A", "C"},
+	})
+
+	// Before any data the COVAR result is empty: /model reports 503 per
+	// the unified empty-join convention.
+	code, _ := getJSON(t, ts.URL+"/model")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /model on empty covar = %d, want 503", code)
+	}
+
+	postUpdates(t, ts, seedBody)
+	code, model := getJSON(t, ts.URL+"/model")
+	if code != http.StatusOK {
+		t.Fatalf("GET /model = %d: %v", code, model)
+	}
+	if model["kind"] != "covar" {
+		t.Fatalf("kind = %v, want covar", model["kind"])
+	}
+	if model["count"].(float64) != 6 {
+		t.Fatalf("count = %v, want 6", model["count"])
+	}
+	sums := model["sums"].(map[string]any)
+	if sums["A"].(float64) != 21 || sums["C"].(float64) != 90 {
+		t.Fatalf("sums = %v, want A=21 C=90", sums)
+	}
+}
+
+func TestHTTPServeJoinEngine(t *testing.T) {
+	_, ts := newEngineServer(t, fivm.Config{
+		Relations: twoRelations,
+		Kind:      fivm.KindJoin,
+	})
+	postUpdates(t, ts, seedBody)
+	code, model := getJSON(t, ts.URL+"/model")
+	if code != http.StatusOK {
+		t.Fatalf("GET /model = %d: %v", code, model)
+	}
+	if model["kind"] != "join" {
+		t.Fatalf("kind = %v, want join", model["kind"])
+	}
+	if model["total"].(float64) != 6 {
+		t.Fatalf("total = %v, want 6 join tuples", model["total"])
+	}
+	if rows := model["rows"].([]any); len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
 	}
 }

@@ -48,7 +48,7 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 		all = append(all, view.Update{Rel: "R", Tuple: tp, Mult: 1})
 	}
 
-	srv, err := New(testAnalysis(t), Config{Label: "B", MaxBatch: 256})
+	srv, err := New(testAnalysis(t), Config{MaxBatch: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,9 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 				snap := srv.Snapshot()
 				_ = snap.Count()
 				_, _ = snap.Predict(x)
-				_, _ = snap.Covar()
+				if am, ok := snap.Model.(*fivm.AnalysisModel); ok {
+					_, _ = am.Covar()
+				}
 				_ = srv.Stats()
 			}
 		}()
@@ -108,15 +110,16 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 	if got := srv.Stats().Ingested; got != uint64(len(all)) {
 		t.Fatalf("ingested = %d, want %d", got, len(all))
 	}
+	fm := final.Model.(*fivm.AnalysisModel)
 
 	// Single-threaded replay of the identical update stream.
 	replay := testAnalysis(t)
 	if err := replay.Apply(all); err != nil {
 		t.Fatal(err)
 	}
-	if !final.Payload.Equal(replay.Payload()) {
+	if !fm.Payload.Equal(replay.Payload()) {
 		t.Fatalf("concurrent payload diverges from single-threaded replay:\n got %v\nwant %v",
-			final.Payload, replay.Payload())
+			fm.Payload, replay.Payload())
 	}
 
 	// Cold-fit both sigmas with identical config: deterministic gradient
@@ -126,7 +129,7 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotModel, _, err := fivm.RidgeFromPayload(final.Payload, final.Features, "B", nil, cfg)
+	gotModel, _, err := fivm.RidgeFromPayload(fm.Payload, fm.Features, "B", nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,6 @@
-// Package serve is the concurrent serving layer over a fivm.Analysis
-// engine: continuous ingestion of tuple updates on the write path,
-// lock-free model reads on the read path.
+// Package serve is the concurrent serving layer over any fivm engine:
+// continuous ingestion of tuple updates on the write path, lock-free
+// model reads on the read path.
 //
 // The F-IVM engines are single-threaded by design — every view update
 // mutates shared state. serve keeps that invariant while exposing the
@@ -14,38 +14,71 @@
 //     batch-update strategy), and prebuilds the delta relation off the
 //     maintenance thread.
 //   - A single writer goroutine applies delta batches to the engine and
-//     after each applied round publishes an immutable ModelSnapshot
-//     (deep payload clone + refit ridge model + sigma + counters)
-//     through an atomic.Pointer.
+//     after each applied round publishes an immutable Snapshot (a deep
+//     fivm.Model clone + counters) through an atomic.Pointer.
 //
-// Readers call Snapshot and work against that immutable value: Predict,
-// Covar, MI, ChowLiu, and Stats never take a lock, never block behind
+// Readers call Snapshot and work against that immutable value: Model
+// reads, Predict, and Stats never take a lock, never block behind
 // ingestion, and never observe a half-applied batch.
+//
+// The pipeline is engine-agnostic: it talks to the engine only through
+// the Maintainable interface, which the generic fivm.Engine implements —
+// so one daemon binary hosts count, float-SUM, COVAR, join-result, and
+// full analysis workloads alike.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
 	"repro/fivm"
-	"repro/internal/ml"
 	"repro/internal/view"
 )
+
+// Maintainable is the engine contract the serving pipeline needs: delta
+// build and apply for the write path, model publishing for the read
+// path, and snapshot persistence hooks. fivm's generic Engine — and so
+// every engine fivm.Open returns — implements it.
+//
+// Contract: BuildDelta must be safe to call concurrently with
+// maintenance (it only reads immutable metadata); ApplyBuilt,
+// PublishModel, Stats, and the snapshot methods are only ever called
+// from the single writer goroutine (or before the pipeline starts).
+type Maintainable interface {
+	// Kind identifies the hosted engine kind.
+	Kind() fivm.Kind
+	// RelationNames returns the input relation names, sorted.
+	RelationNames() []string
+	// Arity returns the attribute count of input relation rel.
+	Arity(rel string) (int, bool)
+	// BuildDelta prebuilds a delta relation from coalesced updates.
+	BuildDelta(rel string, ups []view.Update) (fivm.Delta, error)
+	// ApplyBuilt applies a delta produced by BuildDelta.
+	ApplyBuilt(rel string, d fivm.Delta) error
+	// PublishModel builds an immutable model of the current result,
+	// warm-starting from the previously published one (nil at first).
+	PublishModel(prev fivm.Model) fivm.Model
+	// Stats exposes the engine's maintenance counters.
+	Stats() view.Stats
+	// ViewTree renders the maintained view tree.
+	ViewTree() string
+	// WriteSnapshot persists the engine's input relations.
+	WriteSnapshot(w io.Writer) error
+	// ReadSnapshot restores input relations and re-evaluates views.
+	ReadSnapshot(r io.Reader) error
+}
+
+// Compile-time check: engines from fivm.Open satisfy Maintainable.
+var _ Maintainable = fivm.AnyEngine(nil)
 
 // ErrClosed is returned by Ingest and Sync after Close.
 var ErrClosed = errors.New("serve: server closed")
 
 // Config tunes the ingestion pipeline.
 type Config struct {
-	// Label is the attribute the published ridge model predicts; it
-	// must be a continuous feature of the analysis. Empty disables
-	// model fitting (payload snapshots are still published).
-	Label string
-	// Ridge configures the solver; the zero value means
-	// ml.DefaultRidgeConfig().
-	Ridge ml.RidgeConfig
 	// MaxBatch caps the number of raw updates a batcher coalesces into
 	// one delta (default 8192).
 	MaxBatch int
@@ -54,14 +87,12 @@ type Config struct {
 	ChannelCap int
 	// MaxBatchesPerPublish caps how many queued deltas the writer
 	// applies before publishing a fresh snapshot (default 32). Higher
-	// values amortize refits under backlog at the cost of staleness.
+	// values amortize model refits under backlog at the cost of
+	// staleness.
 	MaxBatchesPerPublish int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Ridge == (ml.RidgeConfig{}) {
-		c.Ridge = ml.DefaultRidgeConfig()
-	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8192
 	}
@@ -90,17 +121,17 @@ type Stats struct {
 	DeltaTuples uint64
 	// Snapshots is the number of published model snapshots.
 	Snapshots uint64
-	// ApplyErrors counts failed ApplyDelta calls (LastError keeps the
+	// ApplyErrors counts failed ApplyBuilt calls (LastError keeps the
 	// most recent message).
 	ApplyErrors uint64
 	LastError   string
 	View        view.Stats
 }
 
-// Server owns a fivm.Analysis and runs the ingestion pipeline over it.
-// Create one with New; all methods are safe for concurrent use.
+// Server owns a Maintainable engine and runs the ingestion pipeline over
+// it. Create one with New; all methods are safe for concurrent use.
 type Server struct {
-	an  *fivm.Analysis
+	eng Maintainable
 	cfg Config
 
 	mu     sync.RWMutex // closed vs. sends on shard/exec channels
@@ -112,9 +143,8 @@ type Server struct {
 	writerDone chan struct{}
 	batchers   sync.WaitGroup
 
-	snap      atomic.Pointer[ModelSnapshot]
-	ingested  atomic.Uint64
-	binWidths map[string]float64
+	snap     atomic.Pointer[Snapshot]
+	ingested atomic.Uint64
 
 	// Writer-goroutine-private counters, copied into each snapshot.
 	nApplied     uint64
@@ -141,53 +171,36 @@ type ingestMsg struct {
 
 type batch struct {
 	rel   string
-	delta deltaRel
+	delta fivm.Delta
 	raw   int // ingested updates this batch represents
 	wgs   []*sync.WaitGroup
 }
 
 type execReq struct {
-	fn   func(*fivm.Analysis)
+	fn   func(Maintainable)
 	done chan struct{}
 }
 
-// New wraps an Analysis (already Init-ed with any initial data) in a
+// New wraps an engine (already Init-ed with any initial data) in a
 // Server and starts the pipeline. The Server takes ownership of the
 // engine: after New the caller must not touch it except through Sync.
-func New(an *fivm.Analysis, cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Label != "" {
-		found := false
-		for _, f := range an.Features() {
-			if f.Name == cfg.Label {
-				if f.Categorical {
-					return nil, fmt.Errorf("serve: label %s is categorical; ridge needs a continuous label", cfg.Label)
-				}
-				found = true
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("serve: label %s is not a feature of the analysis", cfg.Label)
-		}
+func New(eng Maintainable, cfg Config) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("serve: nil engine")
 	}
+	cfg = cfg.withDefaults()
 	s := &Server{
-		an:         an,
+		eng:        eng,
 		cfg:        cfg,
 		shards:     make(map[string]*shard),
 		batches:    make(chan batch, cfg.ChannelCap),
 		exec:       make(chan execReq),
 		writerDone: make(chan struct{}),
-		viewTree:   an.ViewTree(),
-		binWidths:  make(map[string]float64),
+		viewTree:   eng.ViewTree(),
 	}
-	for _, f := range an.FeatureSpecs() {
-		if f.BinWidth > 0 {
-			s.binWidths[f.Attr] = f.BinWidth
-		}
-	}
-	for _, rel := range an.RelationNames() {
-		src, _ := an.Tree().Source(rel)
-		s.shards[rel] = &shard{rel: rel, arity: src.Schema().Len(), ch: make(chan ingestMsg, cfg.ChannelCap)}
+	for _, rel := range eng.RelationNames() {
+		arity, _ := eng.Arity(rel)
+		s.shards[rel] = &shard{rel: rel, arity: arity, ch: make(chan ingestMsg, cfg.ChannelCap)}
 	}
 	s.publish() // version 1: the initial state, before any goroutine runs
 	for _, sh := range s.shards {
@@ -197,6 +210,9 @@ func New(an *fivm.Analysis, cfg Config) (*Server, error) {
 	go s.runWriter()
 	return s, nil
 }
+
+// Kind identifies the hosted engine kind.
+func (s *Server) Kind() fivm.Kind { return s.eng.Kind() }
 
 // Ingest enqueues tuple updates. It returns a channel that is closed
 // once every update of this call has been applied to the engine AND a
@@ -256,9 +272,9 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 
 // Sync runs fn on the writer goroutine with exclusive access to the
 // engine, between batches — the safe way to reach engine state the
-// snapshot does not carry (e.g. fivm's WriteSnapshot persistence). It
-// blocks until fn returns.
-func (s *Server) Sync(fn func(*fivm.Analysis)) error {
+// snapshot does not carry (e.g. WriteSnapshot persistence). It blocks
+// until fn returns.
+func (s *Server) Sync(fn func(Maintainable)) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -271,9 +287,9 @@ func (s *Server) Sync(fn func(*fivm.Analysis)) error {
 	return nil
 }
 
-// Snapshot returns the latest published model snapshot. It never blocks
-// and never returns nil.
-func (s *Server) Snapshot() *ModelSnapshot { return s.snap.Load() }
+// Snapshot returns the latest published snapshot. It never blocks and
+// never returns nil.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Stats returns serving counters: snapshot-consistent applied-side
 // numbers plus the live ingested count.

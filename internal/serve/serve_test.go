@@ -25,6 +25,7 @@ func testAnalysis(t testing.TB) *fivm.Analysis {
 			{Attr: "B"},
 			{Attr: "C", Categorical: true},
 		},
+		Label: "B",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,14 +40,14 @@ func seedUpdates(n, k int) []view.Update {
 		ups = append(ups, view.Update{Rel: "S", Tuple: value.T(j, j%3), Mult: 1})
 	}
 	for i := 0; i < n; i++ {
-		ups = append(ups, view.Update{Rel: "R", Tuple: value.T(i, i % k), Mult: 1})
+		ups = append(ups, view.Update{Rel: "R", Tuple: value.T(i, i%k), Mult: 1})
 	}
 	return ups
 }
 
 func newTestServer(t testing.TB) *Server {
 	t.Helper()
-	srv, err := New(testAnalysis(t), Config{Label: "B"})
+	srv, err := New(testAnalysis(t), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,8 +78,12 @@ func TestIngestWaitReflectsInSnapshot(t *testing.T) {
 	if got := snap.Count(); got != 100 {
 		t.Fatalf("join count = %v, want 100", got)
 	}
-	if snap.Model == nil {
-		t.Fatalf("no model after ingest: %s", snap.FitErr)
+	am, ok := snap.Model.(*fivm.AnalysisModel)
+	if !ok {
+		t.Fatalf("snapshot model = %T, want *fivm.AnalysisModel", snap.Model)
+	}
+	if am.Model == nil {
+		t.Fatalf("no model after ingest: %s", am.FitErr)
 	}
 	if _, err := snap.Predict(map[string]value.Value{"A": value.Int(5), "C": value.Int(1)}); err != nil {
 		t.Fatalf("Predict: %v", err)
@@ -157,7 +162,7 @@ func TestIngestErrors(t *testing.T) {
 }
 
 func TestCloseDrainsAndRejects(t *testing.T) {
-	srv, err := New(testAnalysis(t), Config{Label: "B"})
+	srv, err := New(testAnalysis(t), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +178,7 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 	if _, err := srv.Ingest(seedUpdates(1, 1)); err != ErrClosed {
 		t.Fatalf("Ingest after Close = %v, want ErrClosed", err)
 	}
-	if err := srv.Sync(func(*fivm.Analysis) {}); err != ErrClosed {
+	if err := srv.Sync(func(Maintainable) {}); err != ErrClosed {
 		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
 	}
 	if err := srv.Close(); err != nil {
@@ -185,7 +190,7 @@ func TestSyncRunsOnWriter(t *testing.T) {
 	srv := newTestServer(t)
 	ingestWait(t, srv, seedUpdates(10, 2))
 	var stats view.Stats
-	if err := srv.Sync(func(an *fivm.Analysis) { stats = an.Stats() }); err != nil {
+	if err := srv.Sync(func(eng Maintainable) { stats = eng.Stats() }); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Updates == 0 {
@@ -193,11 +198,20 @@ func TestSyncRunsOnWriter(t *testing.T) {
 	}
 }
 
-func TestNewRejectsBadLabel(t *testing.T) {
-	if _, err := New(testAnalysis(t), Config{Label: "C"}); err == nil {
+// The serving label is validated where it is configured: at engine
+// construction. A categorical or unknown label must never reach the
+// pipeline.
+func TestAnalysisRejectsBadServingLabel(t *testing.T) {
+	cfg := fivm.AnalysisConfig{
+		Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}},
+		Features:  []fivm.FeatureSpec{{Attr: "A"}, {Attr: "B", Categorical: true}},
+	}
+	cfg.Label = "B"
+	if _, err := fivm.NewAnalysis(cfg); err == nil {
 		t.Fatal("expected error for categorical label")
 	}
-	if _, err := New(testAnalysis(t), Config{Label: "Z"}); err == nil {
+	cfg.Label = "Z"
+	if _, err := fivm.NewAnalysis(cfg); err == nil {
 		t.Fatal("expected error for unknown label")
 	}
 }
@@ -223,11 +237,12 @@ func TestPredictBinsRawInputs(t *testing.T) {
 	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
 		Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"X", "C"}}},
 		Features:  []fivm.FeatureSpec{{Attr: "X"}, {Attr: "C", BinWidth: 10}},
+		Label:     "X",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(an, Config{Label: "X"})
+	srv, err := New(an, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,41 +1,30 @@
 package serve
 
 import (
-	"fmt"
 	"strconv"
 
 	"repro/fivm"
-	"repro/internal/ml"
-	"repro/internal/ring"
 	"repro/internal/value"
 )
 
-// ModelSnapshot is an immutable view of the models at one point of the
-// update stream. Every field is a deep copy or derived purely from one:
-// once published, nothing the writer does afterwards can change it, so
-// any number of readers may use it concurrently without coordination.
-type ModelSnapshot struct {
+// Snapshot is an immutable view of the served state at one point of the
+// update stream: the engine's published fivm.Model (a deep copy sharing
+// nothing with the engine) plus serving counters. Once published,
+// nothing the writer does afterwards can change it, so any number of
+// readers may use it concurrently without coordination.
+//
+// The Model's concrete type depends on the hosted engine kind:
+// *fivm.AnalysisModel for analysis engines (ridge Predict, Covar, MI,
+// ChowLiu), *fivm.TableModel for count/float/join engines, and
+// *fivm.CovarModel for the scalar COVAR engines.
+type Snapshot struct {
 	// Version increments with every publish; version 1 is the state the
 	// Server was created with.
 	Version uint64
-	// Label is the ridge model's target attribute ("" when fitting is
-	// disabled).
-	Label string
-	// Payload is a deep clone of the maintained compound aggregate
-	// (nil when the join is empty).
-	Payload *ring.RelCovar
-	// Features is the payload indexing metadata.
-	Features []ml.Feature
-	// BinWidths maps binned features to their width: their one-hot
-	// categories are bin indexes, so Predict inputs must be binned the
-	// same way before matching.
-	BinWidths map[string]float64
-	// Sigma and Model are the covariance matrix and ridge model fit
-	// against this payload; nil when fitting is disabled or failed
-	// (FitErr carries the reason).
-	Sigma  *ml.SigmaMatrix
-	Model  *ml.RidgeModel
-	FitErr string
+	// Kind is the hosted engine kind.
+	Kind fivm.Kind
+	// Model is the engine's published model.
+	Model fivm.Model
 	// Stats are the serving counters as of this publish.
 	Stats Stats
 }
@@ -45,12 +34,14 @@ type ModelSnapshot struct {
 func (s *Server) publish() {
 	s.nSnapshots++
 	s.dirty = false
-	ms := &ModelSnapshot{
-		Version:   s.nSnapshots,
-		Label:     s.cfg.Label,
-		Payload:   s.an.ClonePayload(),
-		Features:  s.an.Features(),
-		BinWidths: s.binWidths,
+	var prev fivm.Model
+	if p := s.snap.Load(); p != nil {
+		prev = p.Model
+	}
+	ms := &Snapshot{
+		Version: s.nSnapshots,
+		Kind:    s.eng.Kind(),
+		Model:   s.eng.PublishModel(prev),
 		Stats: Stats{
 			Ingested:    s.ingested.Load(),
 			Applied:     s.nApplied,
@@ -59,110 +50,20 @@ func (s *Server) publish() {
 			Snapshots:   s.nSnapshots,
 			ApplyErrors: s.nApplyErrs,
 			LastError:   s.lastErr,
-			View:        s.an.Stats(),
+			View:        s.eng.Stats(),
 		},
-	}
-	if s.cfg.Label != "" {
-		var warm *ml.RidgeModel
-		if prev := s.snap.Load(); prev != nil {
-			// Warm-start from the previously published optimum, on a
-			// clone so the published model is never mutated.
-			warm = prev.Model.Clone()
-		}
-		// The warm clone re-converges against snapshot-owned state only.
-		model, sigma, err := fivm.RidgeFromPayload(ms.Payload, ms.Features, s.cfg.Label, warm, s.cfg.Ridge)
-		if err != nil {
-			ms.FitErr = err.Error()
-		} else {
-			ms.Model, ms.Sigma = model, sigma
-		}
 	}
 	s.snap.Store(ms)
 }
 
-// Predict evaluates the snapshot's ridge model on the given feature
-// values (attribute name -> value). Continuous features coerce to
-// float; categorical features one-hot match against the categories
-// observed at snapshot time (an unseen category contributes zero to
-// every column). Entries for the label attribute are ignored; all other
-// feature attributes must be present.
-func (ms *ModelSnapshot) Predict(x map[string]value.Value) (float64, error) {
-	if ms.Model == nil {
-		if ms.FitErr != "" {
-			return 0, fmt.Errorf("serve: no model: %s", ms.FitErr)
-		}
-		return 0, fmt.Errorf("serve: model fitting is disabled (no label configured)")
-	}
-	vec := make([]float64, ms.Sigma.Dim())
-	for i, col := range ms.Sigma.Cols {
-		if col.Attr == ms.Label {
-			continue
-		}
-		v, ok := x[col.Attr]
-		if !ok {
-			return 0, fmt.Errorf("serve: missing feature %s", col.Attr)
-		}
-		if col.IsCat {
-			if w := ms.BinWidths[col.Attr]; w > 0 {
-				v = value.Int(binFor(v.AsFloat(), w))
-			}
-			if v.Equal(col.Category) {
-				vec[i] = 1
-			}
-		} else {
-			vec[i] = v.AsFloat()
-		}
-	}
-	return ms.Model.Predict(vec), nil
+// Predict evaluates the snapshot's model on the given feature values.
+// Engines that publish no predictive model return an error.
+func (ms *Snapshot) Predict(x map[string]value.Value) (float64, error) {
+	return ms.Model.Predict(x)
 }
 
-// binFor mirrors ring.LiftBinned's discretization exactly, so Predict
-// inputs land in the same bins the payload was built with.
-func binFor(f, width float64) int64 {
-	bin := int64(f / width)
-	if f < 0 {
-		bin--
-	}
-	return bin
-}
-
-// Covar converts the snapshot payload to a dense sigma matrix (it
-// returns the one fit at publish time when available).
-func (ms *ModelSnapshot) Covar() (*ml.SigmaMatrix, error) {
-	if ms.Sigma != nil {
-		return ms.Sigma, nil
-	}
-	return ml.SigmaFromRelCovar(ms.Payload, ms.Features)
-}
-
-// MI computes the pairwise mutual-information matrix from the snapshot
-// payload; every feature must be categorical or binned.
-func (ms *ModelSnapshot) MI() (*ml.MIMatrix, error) {
-	return ml.MIFromRelCovar(ms.Payload, ms.Features)
-}
-
-// ChowLiu builds the Chow-Liu tree rooted at root from the snapshot's
-// MI matrix.
-func (ms *ModelSnapshot) ChowLiu(root string) (*ml.ChowLiuTree, error) {
-	mi, err := ms.MI()
-	if err != nil {
-		return nil, err
-	}
-	return ml.ChowLiu(mi, root)
-}
-
-// SelectFeatures ranks features by MI with the label and applies the
-// threshold.
-func (ms *ModelSnapshot) SelectFeatures(label string, threshold float64) ([]ml.RankedAttr, []string, error) {
-	mi, err := ms.MI()
-	if err != nil {
-		return nil, nil, err
-	}
-	return ml.SelectFeatures(mi, label, threshold)
-}
-
-// Count returns the number of tuples in the maintained join (SUM(1)).
-func (ms *ModelSnapshot) Count() float64 { return ms.Payload.Count().Scalar() }
+// Count returns the model's scalar summary (see fivm.Model.Count).
+func (ms *Snapshot) Count() float64 { return ms.Model.Count() }
 
 // ParseValue converts external text (query parameters, CSV cells) to a
 // typed value: integer, then float, then string; "null" (any case) and

@@ -12,9 +12,14 @@ import (
 
 // Snapshot format:
 //
-//	magic "FIVMSNAP" | version u8 | relation count uvarint
+//	magic "FIVMSNAP" | version u8 | codec tag (v2+) | relation count uvarint
 //	per relation: name | attr count | attrs... | tuple count |
 //	              per tuple: encoded key | payload (ring codec)
+//
+// The codec tag is the Go type name of the payload codec; it makes a
+// snapshot self-describing across engine kinds, so restoring e.g. a
+// count-engine snapshot into a float engine fails fast instead of
+// misparsing payload bytes. Version-1 snapshots (no tag) still load.
 //
 // Only the input relations are persisted; views are recomputed on
 // restore (they are pure functions of the sources), which keeps the
@@ -22,8 +27,19 @@ import (
 
 const (
 	snapshotMagic   = "FIVMSNAP"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
+
+// codecTag names the payload codec for the snapshot header. Codecs
+// whose wire format depends on parameters (e.g. the ring degree) expose
+// a Tag method so two configurations of the same codec type do not
+// collide; the Go type name covers the rest.
+func codecTag[V any](codec ring.Codec[V]) string {
+	if t, ok := any(codec).(interface{ Tag() string }); ok {
+		return t.Tag()
+	}
+	return fmt.Sprintf("%T", codec)
+}
 
 // WriteSnapshot persists the tree's input relations to w using codec
 // for payloads. The tree itself is unchanged.
@@ -33,6 +49,9 @@ func (t *Tree[V]) WriteSnapshot(w io.Writer, codec ring.Codec[V]) error {
 		return err
 	}
 	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, codecTag(codec)); err != nil {
 		return err
 	}
 	names := t.RelationNames()
@@ -90,7 +109,18 @@ func (t *Tree[V]) ReadSnapshot(r io.Reader, codec ring.Codec[V]) error {
 	if err != nil {
 		return err
 	}
-	if ver != snapshotVersion {
+	switch ver {
+	case 1:
+		// Pre-tag format: no codec identification; trust the caller.
+	case snapshotVersion:
+		tag, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if want := codecTag(codec); tag != want {
+			return fmt.Errorf("view: snapshot written with codec %s, engine uses %s", tag, want)
+		}
+	default:
 		return fmt.Errorf("view: unsupported snapshot version %d", ver)
 	}
 	nRels, err := readUvarint(br)
@@ -136,6 +166,12 @@ func (t *Tree[V]) ReadSnapshot(r io.Reader, codec ring.Codec[V]) error {
 			tp, err := value.DecodeTuple(key)
 			if err != nil {
 				return fmt.Errorf("view: snapshot tuple in %s: %w", name, err)
+			}
+			if len(tp) != src.schema.Len() {
+				// A desynced (corrupt) payload stream can still decode
+				// into a valid-looking tuple of the wrong arity; error
+				// out rather than panic in the relation layer.
+				return fmt.Errorf("view: snapshot tuple in %s has %d attributes, schema has %d (corrupt snapshot?)", name, len(tp), src.schema.Len())
 			}
 			p, err := codec.Decode(br)
 			if err != nil {

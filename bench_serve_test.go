@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 	"time"
@@ -140,6 +141,72 @@ func BenchmarkServeSnapshotReads(b *testing.B) {
 	}
 	b.Run("idle-writer", func(b *testing.B) { run(b, false) })
 	b.Run("active-writer", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkServeIngestWorkers measures batched write-path throughput
+// through the full pipeline with parallel delta propagation at 1/2/4/8
+// workers: shards feed raw updates straight into the delta build, and
+// the writer's ApplyBuilt hash-partitions each delta across the worker
+// pool. Batches of 1000 keep the coalesced deltas above the view
+// layer's parallel threshold.
+func BenchmarkServeIngestWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			cfg := dataset.DefaultRetailerConfig()
+			cfg.InventoryRows = 5_000
+			db := dataset.Retailer(cfg)
+			var rels []fivm.RelationSpec
+			for _, r := range db.Relations {
+				rels = append(rels, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
+			}
+			an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
+				Relations: rels,
+				Features: []fivm.FeatureSpec{
+					{Attr: "inventoryunits"},
+					{Attr: "prize"},
+					{Attr: "avghhi"},
+					{Attr: "subcategory", Categorical: true},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			an.SetParallelism(workers)
+			if err := an.Init(db.TupleMap()); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := serve.New(an, serve.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := dataset.NewStream(db, dataset.StreamConfig{
+				Relation: "Inventory", Total: 20_000, DeleteRatio: 0.3, Seed: 23,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := st.Updates
+			const batch = 1000
+			b.ResetTimer()
+			sent := 0
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) % len(ups)
+				hi := lo + batch
+				if hi > len(ups) {
+					hi = len(ups)
+				}
+				if _, err := srv.Ingest(ups[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+				sent += hi - lo
+			}
+			if err := srv.Close(); err != nil { // drain everything accepted
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "updates/sec")
+		})
+	}
 }
 
 // BenchmarkServeIngest measures write-path throughput through the full

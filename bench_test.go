@@ -290,6 +290,91 @@ func BenchmarkE7AggCount(b *testing.B) {
 	}
 }
 
+// --- E8: parallel delta propagation ----------------------------------------
+
+// BenchmarkE8Workers sweeps the delta-propagation worker count on the
+// Retailer batch stream (COVAR degree 5, batches of 1000): the same
+// workload as E2, with update batches hash-partitioned by join key and
+// propagated concurrently. workers=1 is the sequential baseline; on a
+// multi-core host the 4-worker rate should exceed it, while on a
+// single-core host the sweep measures the partitioning overhead.
+func BenchmarkE8Workers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers"+itoa(workers), func(b *testing.B) {
+			db, fs, _, aggs := benchRetailer(b, e2Rows)
+			ups := benchStream(b, db, e2Stream, 0.2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := fivm.NewCovarEngine(fs, aggs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.SetParallelism(workers)
+				if err := eng.Init(db.TupleMap()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := 0; j < len(ups); j += e2BatchSize {
+					k := j + e2BatchSize
+					if k > len(ups) {
+						k = len(ups)
+					}
+					if err := eng.Apply(ups[j:k]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportRate(b, len(ups))
+		})
+	}
+}
+
+// BenchmarkE8WorkersCategorical is the same sweep over the heavier
+// mixed categorical payload (the relational degree-7 ring), where the
+// per-tuple ring work is large enough for partitioning to pay off at
+// smaller batch sizes.
+func BenchmarkE8WorkersCategorical(b *testing.B) {
+	features := []fivm.FeatureSpec{
+		{Attr: "inventoryunits"},
+		{Attr: "prize"},
+		{Attr: "avghhi"},
+		{Attr: "subcategory", Categorical: true},
+		{Attr: "category", Categorical: true},
+		{Attr: "categoryCluster", Categorical: true},
+		{Attr: "zip", Categorical: true},
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run("workers"+itoa(workers), func(b *testing.B) {
+			db, fs, _, _ := benchRetailer(b, e2Rows)
+			ups := benchStream(b, db, e2Stream, 0.2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				an, err := fivm.NewAnalysis(fivm.AnalysisConfig{Relations: fs, Features: features})
+				if err != nil {
+					b.Fatal(err)
+				}
+				an.SetParallelism(workers)
+				if err := an.Init(db.TupleMap()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := 0; j < len(ups); j += e2BatchSize {
+					k := j + e2BatchSize
+					if k > len(ups) {
+						k = len(ups)
+					}
+					if err := an.Apply(ups[j:k]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportRate(b, len(ups))
+		})
+	}
+}
+
 // --- A1–A3: ablations --------------------------------------------------------
 
 // BenchmarkAblationSharing compares the compound ring against one

@@ -25,6 +25,11 @@
 // file at startup (if present) and persists them periodically and on
 // shutdown; pair one state file with one engine configuration (the
 // snapshot's codec tag rejects a mismatched engine kind).
+//
+// -workers enables parallel delta propagation: each applied batch is
+// hash-partitioned by join key and propagated across that many
+// goroutines (-1 selects GOMAXPROCS), producing views identical to the
+// sequential path's.
 package main
 
 import (
@@ -63,12 +68,14 @@ func main() {
 	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
 	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
 	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
+	workers := flag.Int("workers", 0, "parallel delta-propagation workers (0 sequential, -1 = GOMAXPROCS, n >= 2 = n workers)")
 	flag.Parse()
 
 	cfg, initData, err := buildConfig(*db, *rows, *load, *engine, *queryFlag, *relationsFlag, *featuresFlag, *attrsFlag, label)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.Workers = *workers
 	eng, err := fivm.Open(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,48 @@
+// Package fivm is the public API of the F-IVM reproduction: real-time
+// analytics over fast-evolving relational data. Its central claim —
+// the paper's — is that ONE view-maintenance mechanism serves many
+// workloads by swapping the payload ring and nothing else. The API is
+// shaped accordingly:
+//
+//   - Engine[V] is the generic core: a view tree over one ring plus the
+//     shared lifecycle (Init, InitWeighted, Apply, ApplyDelta, DeltaFor,
+//     CloneView, Stats, WriteSnapshot/ReadSnapshot, PublishModel,
+//     SetParallelism).
+//   - Six thin instantiations add typed accessors: Analysis
+//     (generalized COVAR / MI / ridge / Chow-Liu over mixed features),
+//     CountEngine and FloatEngine (SUM aggregates parsed from a small
+//     SQL subset), CovarEngine and RangedCovarEngine (scalar COVAR over
+//     continuous attributes), and JoinEngine (the join result itself).
+//   - Open(Config) is the one entry point that compiles either a SQL
+//     query or a declarative relations+features config into the right
+//     engine, returning the kind-independent AnyEngine surface the
+//     serving layer hosts.
+//
+// # Key invariants
+//
+//   - Views, deltas, and inputs are all keyed relations with ring
+//     payloads; payloads are immutable under ring operations, so
+//     engines, snapshots, and concurrent readers share them freely.
+//   - Result-access convention: Payload/Result never fail (the empty
+//     join yields the ring zero); typed accessors that derive
+//     structure from the payload (Covar, Sigma, Ridge, MI, a Model's
+//     ResultJSON) return a descriptive error on the empty join.
+//   - An Engine is single-writer. Two deliberate exceptions support
+//     the serving layer: BuildDelta/DeltaFor read only immutable tree
+//     metadata and may run concurrently with maintenance, and every
+//     published Model is an isolated deep copy. Config.Workers enables
+//     hash-partitioned parallel delta propagation INSIDE one
+//     ApplyDelta call — the views it produces are identical to the
+//     sequential path's, and the single-writer contract is unchanged.
+//
+// A minimal session:
+//
+//	eng, _ := fivm.Open(fivm.Config{
+//	    Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}, ...},
+//	    Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}},
+//	})
+//	an := eng.(*fivm.Analysis)
+//	an.Init(initialTuples)
+//	an.Apply(updates)          // inserts and deletes
+//	sigma, _ := an.Covar()     // feeds ml.RidgeModel
+package fivm

@@ -149,9 +149,25 @@ func (e *Engine[V]) Delete(rel string, tuples ...value.Tuple) error {
 	return e.tree.Delete(rel, tuples...)
 }
 
-// ApplyDelta maintains the views under a prebuilt delta relation.
+// ApplyDelta maintains the views under a prebuilt delta relation. With
+// SetParallelism configured, deltas above the view layer's threshold
+// propagate hash-partitioned across a worker pool; the maintained
+// views are the sequential path's (bit-identical whenever ring
+// addition is exact — see view.Tree.SetParallelism for the float
+// rounding caveat).
 func (e *Engine[V]) ApplyDelta(rel string, d *relation.Map[V]) error {
 	return e.tree.ApplyDelta(rel, d)
+}
+
+// SetParallelism configures parallel delta propagation: batches are
+// hash-partitioned by join key and propagated on `workers` goroutines
+// (see view.Tree.SetParallelism). workers <= 0 selects GOMAXPROCS;
+// workers == 1 restores the sequential path. Small deltas (below
+// view.DefaultParallelThreshold tuples) stay sequential either way.
+// The engine remains single-writer: do not call this concurrently with
+// maintenance.
+func (e *Engine[V]) SetParallelism(workers int) {
+	e.tree.SetParallelism(workers, 0)
 }
 
 // DeltaFor builds a delta relation for rel from tuple-level updates; it

@@ -1,37 +1,3 @@
-// Package fivm is the public API of the F-IVM reproduction: real-time
-// analytics over fast-evolving relational data. Its central claim —
-// the paper's — is that ONE view-maintenance mechanism serves many
-// workloads by swapping the payload ring and nothing else. The API is
-// shaped accordingly:
-//
-//   - Engine[V] is the generic core: a view tree over one ring plus the
-//     shared lifecycle (Init, InitWeighted, Apply, ApplyDelta, DeltaFor,
-//     CloneView, Stats, WriteSnapshot/ReadSnapshot, PublishModel).
-//   - Six thin instantiations add typed accessors: Analysis
-//     (generalized COVAR / MI / ridge / Chow-Liu over mixed features),
-//     CountEngine and FloatEngine (SUM aggregates parsed from a small
-//     SQL subset), CovarEngine and RangedCovarEngine (scalar COVAR over
-//     continuous attributes), and JoinEngine (the join result itself).
-//   - Open(Config) is the one entry point that compiles either a SQL
-//     query or a declarative relations+features config into the right
-//     engine, returning the kind-independent AnyEngine surface the
-//     serving layer hosts.
-//
-// Result-access convention: Payload/Result never fail (the empty join
-// yields the ring zero); typed accessors that derive structure from the
-// payload (Covar, Sigma, Ridge, MI) return a descriptive error on the
-// empty join. See Engine for details.
-//
-// A minimal session:
-//
-//	eng, _ := fivm.Open(fivm.Config{
-//	    Relations: []fivm.RelationSpec{{Name: "R", Attrs: []string{"A", "B"}}, ...},
-//	    Features:  []fivm.FeatureSpec{{Attr: "B"}, {Attr: "C", Categorical: true}},
-//	})
-//	an := eng.(*fivm.Analysis)
-//	an.Init(initialTuples)
-//	an.Apply(updates)          // inserts and deletes
-//	sigma, _ := an.Covar()     // feeds ml.RidgeModel
 package fivm
 
 import (

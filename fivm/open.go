@@ -32,6 +32,10 @@ type AnyEngine interface {
 	BuildDelta(rel string, ups []view.Update) (Delta, error)
 	// ApplyBuilt applies a delta from BuildDelta.
 	ApplyBuilt(rel string, d Delta) error
+	// SetParallelism configures parallel delta propagation (workers <= 0
+	// selects GOMAXPROCS, 1 is sequential). Not safe concurrently with
+	// maintenance.
+	SetParallelism(workers int)
 	// PublishModel builds an immutable model of the current result.
 	PublishModel(prev Model) Model
 	// RelationNames returns the input relation names, sorted.
@@ -72,6 +76,18 @@ type Config struct {
 	Ridge ml.RidgeConfig
 	// Order optionally supplies a hand-built variable order.
 	Order *vo.Order
+	// Workers enables parallel delta propagation: update batches are
+	// hash-partitioned by join key and propagated concurrently, with
+	// the per-partition delta views merged by the ring addition —
+	// producing the sequential path's views (bit-identical whenever
+	// ring addition is exact; see view.Tree.SetParallelism). 0 keeps
+	// the default sequential path, a negative value selects
+	// runtime.GOMAXPROCS(0), and n >= 2 runs n workers. (Note the
+	// zero-value asymmetry with Engine.SetParallelism, where 0 also
+	// selects GOMAXPROCS: a zero Config field must not silently turn
+	// on parallelism.) Batches below the view layer's threshold stay
+	// sequential.
+	Workers int
 }
 
 // Open is the single entry point of the package: it compiles cfg into
@@ -147,9 +163,11 @@ func Open(cfg Config) (AnyEngine, error) {
 	if len(cfg.Attrs) > 0 && kind != KindCovar && kind != KindRangedCovar {
 		return nil, fmt.Errorf("fivm: Attrs are not consumed by the %s engine", kind)
 	}
+	var eng AnyEngine
+	var err error
 	switch kind {
 	case KindAnalysis:
-		return NewAnalysis(AnalysisConfig{
+		eng, err = NewAnalysis(AnalysisConfig{
 			Relations: cfg.Relations,
 			Features:  cfg.Features,
 			Order:     cfg.Order,
@@ -160,21 +178,28 @@ func Open(cfg Config) (AnyEngine, error) {
 		if q == nil {
 			return nil, fmt.Errorf("fivm: %s engine needs a Query", kind)
 		}
-		return NewCountEngine(q, cfg.Order)
+		eng, err = NewCountEngine(q, cfg.Order)
 	case KindFloat:
 		if q == nil {
 			return nil, fmt.Errorf("fivm: %s engine needs a Query", kind)
 		}
-		return NewFloatEngine(q, cfg.Order)
+		eng, err = NewFloatEngine(q, cfg.Order)
 	case KindCovar:
-		return NewCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
+		eng, err = NewCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
 	case KindRangedCovar:
-		return NewRangedCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
+		eng, err = NewRangedCovarEngine(cfg.Relations, cfg.Attrs, cfg.Order)
 	case KindJoin:
-		return NewJoinEngine(cfg.Relations, cfg.Order)
+		eng, err = NewJoinEngine(cfg.Relations, cfg.Order)
 	default:
 		return nil, fmt.Errorf("fivm: unknown engine kind %q", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers != 0 {
+		eng.SetParallelism(cfg.Workers)
+	}
+	return eng, nil
 }
 
 // isCountQuery reports whether the single aggregate is SUM(1).

@@ -1,0 +1,292 @@
+package fivm_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/fivm"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// engineState renders every view, source, and the result of an engine's
+// tree deterministically: sorted tuples, canonical payload rendering.
+// Two engines with bit-identical maintained state render identically.
+func engineState[V any](e *fivm.Engine[V]) string {
+	var b strings.Builder
+	var walk func(n *view.Node[V])
+	walk = func(n *view.Node[V]) {
+		fmt.Fprintf(&b, "view %s = %s\n", n.Var(), n.View())
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	tr := e.Tree()
+	for _, r := range tr.Roots() {
+		walk(r)
+	}
+	for _, name := range tr.RelationNames() {
+		src, _ := tr.Source(name)
+		fmt.Fprintf(&b, "source %s = %s\n", name, src)
+	}
+	fmt.Fprintf(&b, "result = %s\n", e.Result())
+	return b.String()
+}
+
+// snapshotState dispatches engineState over the six concrete kinds.
+func snapshotState(t *testing.T, e fivm.AnyEngine) string {
+	t.Helper()
+	switch x := e.(type) {
+	case *fivm.Analysis:
+		return engineState(x.Engine)
+	case *fivm.CountEngine:
+		return engineState(x.Engine)
+	case *fivm.FloatEngine:
+		return engineState(x.Engine)
+	case *fivm.CovarEngine:
+		return engineState(x.Engine)
+	case *fivm.RangedCovarEngine:
+		return engineState(x.Engine)
+	case *fivm.JoinEngine:
+		return engineState(x.Engine)
+	default:
+		t.Fatalf("unknown engine type %T", e)
+		return ""
+	}
+}
+
+// forceParallel drops the view layer's batch-size threshold to 1 so the
+// test's modest batches exercise the parallel path.
+func forceParallel(t *testing.T, e fivm.AnyEngine, workers int) {
+	t.Helper()
+	switch x := e.(type) {
+	case *fivm.Analysis:
+		x.Tree().SetParallelism(workers, 1)
+	case *fivm.CountEngine:
+		x.Tree().SetParallelism(workers, 1)
+	case *fivm.FloatEngine:
+		x.Tree().SetParallelism(workers, 1)
+	case *fivm.CovarEngine:
+		x.Tree().SetParallelism(workers, 1)
+	case *fivm.RangedCovarEngine:
+		x.Tree().SetParallelism(workers, 1)
+	case *fivm.JoinEngine:
+		x.Tree().SetParallelism(workers, 1)
+	default:
+		t.Fatalf("unknown engine type %T", e)
+	}
+}
+
+func equivRelations() []fivm.RelationSpec {
+	return []fivm.RelationSpec{
+		{Name: "R", Attrs: []string{"A", "B"}},
+		{Name: "S", Attrs: []string{"B", "C"}},
+		{Name: "T", Attrs: []string{"C", "D"}},
+	}
+}
+
+// equivStream builds a mixed insert/delete stream over the relations
+// with small integer values (so every float sum is exact and "identical"
+// means bit-identical). Deletes target live tuples, so payloads cancel
+// to zero mid-stream.
+func equivStream(rnd *rand.Rand, n int) []view.Update {
+	rels := equivRelations()
+	live := map[string][]value.Tuple{}
+	var ups []view.Update
+	for len(ups) < n {
+		r := rels[rnd.Intn(len(rels))]
+		if l := live[r.Name]; len(l) > 0 && rnd.Float64() < 0.35 {
+			i := rnd.Intn(len(l))
+			ups = append(ups, view.Update{Rel: r.Name, Tuple: l[i], Mult: -1})
+			live[r.Name] = append(l[:i], l[i+1:]...)
+			continue
+		}
+		tp := make(value.Tuple, len(r.Attrs))
+		for i := range tp {
+			tp[i] = value.Int(int64(rnd.Intn(5)))
+		}
+		ups = append(ups, view.Update{Rel: r.Name, Tuple: tp, Mult: 1})
+		live[r.Name] = append(live[r.Name], tp)
+	}
+	return ups
+}
+
+// TestParallelEquivalenceAllKinds is the correctness anchor of parallel
+// delta propagation: for every engine kind, a sequential and a
+// 4-worker engine driven through the same randomized mixed
+// insert/delete stream must hold bit-identical views, sources, results,
+// and published models after every batch.
+func TestParallelEquivalenceAllKinds(t *testing.T) {
+	configs := map[fivm.Kind]fivm.Config{
+		fivm.KindCount: {
+			Relations: equivRelations(),
+			Query:     "SELECT B, SUM(1) FROM R NATURAL JOIN S NATURAL JOIN T GROUP BY B",
+		},
+		fivm.KindFloat: {
+			Relations: equivRelations(),
+			Query:     "SELECT SUM(A * D) FROM R NATURAL JOIN S NATURAL JOIN T",
+		},
+		fivm.KindCovar: {
+			Relations: equivRelations(),
+			Attrs:     []string{"A", "B", "D"},
+		},
+		fivm.KindRangedCovar: {
+			Relations: equivRelations(),
+			Kind:      fivm.KindRangedCovar,
+			Attrs:     []string{"A", "B", "D"},
+		},
+		fivm.KindAnalysis: {
+			Relations: equivRelations(),
+			Features: []fivm.FeatureSpec{
+				{Attr: "A"},
+				{Attr: "B", Categorical: true},
+				{Attr: "D"},
+			},
+		},
+		fivm.KindJoin: {
+			Relations: equivRelations(),
+		},
+	}
+	for kind, cfg := range configs {
+		t.Run(string(kind), func(t *testing.T) {
+			seq, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := par.Kind(); got != kind {
+				t.Fatalf("Open built a %s engine, want %s", got, kind)
+			}
+			forceParallel(t, par, 4)
+
+			rnd := rand.New(rand.NewSource(99))
+			init := map[string][]value.Tuple{}
+			for _, r := range equivRelations() {
+				for i := 0; i < 25; i++ {
+					tp := make(value.Tuple, len(r.Attrs))
+					for j := range tp {
+						tp[j] = value.Int(int64(rnd.Intn(5)))
+					}
+					init[r.Name] = append(init[r.Name], tp)
+				}
+			}
+			if err := seq.Init(init); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Init(init); err != nil {
+				t.Fatal(err)
+			}
+
+			ups := equivStream(rnd, 500)
+			const batch = 80
+			for i := 0; i < len(ups); i += batch {
+				end := i + batch
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if err := seq.Apply(ups[i:end]); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.Apply(ups[i:end]); err != nil {
+					t.Fatal(err)
+				}
+				s, p := snapshotState(t, seq), snapshotState(t, par)
+				if s != p {
+					t.Fatalf("state diverged after batch ending at %d:\nsequential:\n%s\nparallel:\n%s", end, s, p)
+				}
+			}
+
+			// Published models must agree too (the analysis ridge fit is
+			// iterative float math, deterministic given identical payloads).
+			sj, serr := seq.PublishModel(nil).ResultJSON()
+			pj, perr := par.PublishModel(nil).ResultJSON()
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("model render: sequential err %v, parallel err %v", serr, perr)
+			}
+			if serr == nil {
+				sb, _ := json.Marshal(sj)
+				pb, _ := json.Marshal(pj)
+				if string(sb) != string(pb) {
+					t.Fatalf("published models diverged:\n%s\nvs\n%s", sb, pb)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenWorkers: Config.Workers wires through Open into the view
+// tree; 0 leaves the sequential default.
+func TestOpenWorkers(t *testing.T) {
+	mk := func(workers int) *fivm.CountEngine {
+		eng, err := fivm.Open(fivm.Config{
+			Relations: equivRelations(),
+			Query:     "SELECT SUM(1) FROM R NATURAL JOIN S NATURAL JOIN T",
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.(*fivm.CountEngine)
+	}
+	if w, _ := mk(0).Tree().Parallelism(); w != 1 {
+		t.Fatalf("Workers 0: tree has %d workers, want sequential", w)
+	}
+	if w, _ := mk(4).Tree().Parallelism(); w != 4 {
+		t.Fatalf("Workers 4: tree has %d workers", w)
+	}
+	if w, _ := mk(-1).Tree().Parallelism(); w < 1 {
+		t.Fatalf("Workers -1 (GOMAXPROCS): tree has %d workers", w)
+	}
+	// SetParallelism(1) restores the sequential path on a live engine.
+	e := mk(8)
+	e.SetParallelism(1)
+	if w, _ := e.Tree().Parallelism(); w != 1 {
+		t.Fatalf("SetParallelism(1): tree has %d workers", w)
+	}
+}
+
+// TestParallelEquivalenceCategorical drives the relational-ring payloads
+// (categorical one-hot tensors) through the parallel path with a larger
+// worker count than GOMAXPROCS, checking the pool degrades gracefully.
+func TestParallelEquivalenceCategorical(t *testing.T) {
+	cfg := fivm.Config{
+		Relations: equivRelations(),
+		Features: []fivm.FeatureSpec{
+			{Attr: "A", Categorical: true},
+			{Attr: "C", Categorical: true},
+			{Attr: "D", BinWidth: 2},
+		},
+	}
+	seq, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceParallel(t, par, 16)
+	rnd := rand.New(rand.NewSource(3))
+	ups := equivStream(rnd, 400)
+	if err := seq.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+	if s, p := snapshotState(t, seq), snapshotState(t, par); s != p {
+		t.Fatalf("categorical state diverged:\n%s\nvs\n%s", s, p)
+	}
+	// The relational payloads must still compare equal structurally.
+	sp := seq.(*fivm.Analysis).Payload()
+	pp := par.(*fivm.Analysis).Payload()
+	if !sp.Equal(pp) {
+		t.Fatal("RelCovar payloads differ structurally")
+	}
+}

@@ -1,0 +1,23 @@
+// Package relation implements keyed relations with ring payloads: the
+// storage substrate of F-IVM. A relation maps tuples over a schema to
+// payload values from an application ring; views, deltas, and input
+// relations are all the same structure. Negative payloads encode
+// deletes, so a "delta relation" needs no special type.
+//
+// # Key invariants
+//
+//   - Tuples whose payload equals the ring zero are never stored:
+//     Merge, MergeAll, Join, and Aggregate all drop entries that
+//     cancel, so relations stay compact under delete-heavy streams and
+//     two relations holding the same content are structurally equal.
+//   - Payloads are shared, never copied, on Clone and Partition —
+//     sound because ring operations treat payloads as immutable.
+//   - A Map is not safe for concurrent mutation; concurrent reads
+//     (Join probes, Each) are fine, which parallel delta propagation
+//     relies on when workers join against shared sibling views.
+//
+// Beyond storage, the package provides the relational algebra the view
+// tree is built from (hash Join, group-by Aggregate with lift
+// application) and Partition, the hash split by join key that feeds
+// parallel delta propagation.
+package relation

@@ -1,0 +1,70 @@
+package relation
+
+import "repro/internal/value"
+
+// fnv1a hashes s with the 64-bit FNV-1a function. Inlined rather than
+// importing hash/fnv to keep the per-tuple partitioning cost at zero
+// allocations.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Partition splits m into n relations by hashing each tuple's projection
+// onto the attribute positions keyIdx (as produced by Schema.Project).
+// Tuples that agree on the key land in the same partition, so the
+// partitions of a delta relation touch disjoint key ranges of any view
+// grouped by (a superset of) the key. An empty keyIdx hashes the full
+// tuple, which still yields a valid — merely key-oblivious — split.
+//
+// The partitions share payloads with m (no cloning; payloads are
+// immutable under ring operations) and their union is exactly m. Slots
+// for which no tuple hashes may be empty relations; callers typically
+// skip those.
+func (m *Map[V]) Partition(n int, keyIdx []int) []*Map[V] {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Map[V], n)
+	for i := range out {
+		out[i] = New[V](m.schema)
+	}
+	if n == 1 {
+		for k, e := range m.data {
+			out[0].data[k] = e
+		}
+		return out
+	}
+	for k, e := range m.data {
+		var h uint64
+		if len(keyIdx) == 0 {
+			h = fnv1a(k)
+		} else {
+			h = fnv1a(e.tuple.EncodeProject(keyIdx))
+		}
+		p := out[h%uint64(n)]
+		p.data[k] = e
+	}
+	return out
+}
+
+// PartitionKey returns the positions of the attributes of key that occur
+// in m's schema — the projection to hash on when partitioning a delta by
+// a join key that may only partially overlap the relation's schema.
+func (m *Map[V]) PartitionKey(key value.Schema) []int {
+	idx := make([]int, 0, key.Len())
+	for _, a := range key.Attrs() {
+		if j := m.schema.Index(a); j >= 0 {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// TestPartitionCoversDisjointly: the partitions of a relation are a
+// disjoint cover — merging them all back yields the original, and no
+// tuple appears in two partitions.
+func TestPartitionCoversDisjointly(t *testing.T) {
+	r := ring.Ints{}
+	schema := value.NewSchema("A", "B")
+	m := New[int64](schema)
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		m.Merge(r, value.T(int64(rnd.Intn(40)), int64(rnd.Intn(40))), int64(rnd.Intn(5)-2))
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		parts := m.Partition(workers, m.PartitionKey(value.NewSchema("A")))
+		if len(parts) != workers {
+			t.Fatalf("Partition(%d) returned %d slots", workers, len(parts))
+		}
+		merged := New[int64](schema)
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+			p.Each(func(tp value.Tuple, pay int64) {
+				if _, dup := merged.Get(tp); dup {
+					t.Fatalf("tuple %v appears in two partitions", tp)
+				}
+				merged.Set(tp, pay)
+			})
+		}
+		if total != m.Len() {
+			t.Fatalf("partitions hold %d tuples, original has %d", total, m.Len())
+		}
+		if !merged.Equal(m, func(a, b int64) bool { return a == b }) {
+			t.Fatalf("union of %d partitions differs from the original", workers)
+		}
+	}
+}
+
+// TestPartitionColocatesKeys: tuples that agree on the partition key
+// must land in the same partition, so view entries grouped by that key
+// are touched by exactly one partition.
+func TestPartitionColocatesKeys(t *testing.T) {
+	r := ring.Ints{}
+	schema := value.NewSchema("A", "B")
+	m := New[int64](schema)
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 5; b++ {
+			m.Merge(r, value.T(int64(a), int64(b)), 1)
+		}
+	}
+	parts := m.Partition(4, m.PartitionKey(value.NewSchema("A")))
+	owner := map[string]int{}
+	for i, p := range parts {
+		p.Each(func(tp value.Tuple, _ int64) {
+			k := tp[:1].Encode()
+			if prev, seen := owner[k]; seen && prev != i {
+				t.Fatalf("key %v split across partitions %d and %d", tp[0], prev, i)
+			}
+			owner[k] = i
+		})
+	}
+}
+
+// TestPartitionKeyIgnoresForeignAttrs: PartitionKey drops key attributes
+// absent from the schema instead of failing, and an empty key falls back
+// to full-tuple hashing (still a disjoint cover).
+func TestPartitionKeyIgnoresForeignAttrs(t *testing.T) {
+	schema := value.NewSchema("A", "B")
+	m := New[int64](schema)
+	r := ring.Ints{}
+	for i := 0; i < 50; i++ {
+		m.Merge(r, value.T(int64(i), int64(i%7)), 1)
+	}
+	idx := m.PartitionKey(value.NewSchema("B", "Z"))
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("PartitionKey([B, Z]) = %v, want [1]", idx)
+	}
+	parts := m.Partition(3, m.PartitionKey(value.NewSchema("Z")))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != m.Len() {
+		t.Fatalf("full-tuple fallback lost tuples: %d vs %d", total, m.Len())
+	}
+}

@@ -1,8 +1,3 @@
-// Package relation implements keyed relations with ring payloads: the
-// storage substrate of F-IVM. A relation maps tuples over a schema to
-// payload values from an application ring; views, deltas, and input
-// relations are all the same structure. Negative payloads encode
-// deletes, so a "delta relation" needs no special type.
 package relation
 
 import (

@@ -1,0 +1,43 @@
+// Package ring implements the application-specific rings at the heart
+// of F-IVM. A view tree carries payloads from one ring; swapping the
+// ring — and only the ring — retargets the same maintenance machinery
+// from counting to linear-regression gradients (COVAR matrices) to the
+// count tables behind pairwise mutual information.
+//
+// The rings provided are those of the paper:
+//
+//   - Ints / Floats: the ring Z (and its float analogue) of tuple
+//     multiplicities. Negative values encode deletes.
+//   - Relational: relations as values, with union as + and a
+//     schema-concatenating join as ×. Used as the scalar domain of the
+//     generalized degree-m ring.
+//   - Covar: the degree-m matrix ring over float64 scalars, carrying
+//     the compound aggregate (c, s, Q) for continuous attributes.
+//   - RelCovar: the degree-m matrix ring over relational values, the
+//     composition that supports one-hot-encoded categorical attributes
+//     and the mutual-information count tables.
+//   - RangedCovar: the COVAR ring with ranged payloads (the paper's
+//     Figure 2d), where each view carries only its own subtree's
+//     aggregate indexes.
+//   - Matrix: dense matrices, demonstrating a non-commutative ring
+//     (matrix chain products) on the same machinery.
+//
+// # Key invariants
+//
+//   - Payload values are immutable: Add, Mul, and Neg return fresh
+//     values (or shared immutable ones) and never modify their
+//     arguments. This is what lets views, published model snapshots,
+//     and concurrent delta-propagation workers share payloads freely.
+//   - Add is associative and commutative, and values carry no hidden
+//     representation slack that could distinguish equal sums (e.g.
+//     RelVal stores no explicit zero coefficients). The maintenance
+//     core merges partial aggregates in whatever grouping is
+//     convenient — including the per-partition merges of parallel
+//     delta propagation — and relies on every grouping producing the
+//     same value.
+//   - The ring zero is never stored in relations: IsZero gates every
+//     merge, keeping views compact under cancellation.
+//
+// merge_test.go pins the first two invariants property-style for every
+// ring.
+package ring

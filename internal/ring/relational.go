@@ -17,14 +17,23 @@ import (
 // schema {X}, products build schema {X,Y}).
 //
 // A nil RelVal is a valid zero. RelVals are immutable by convention:
-// ring operations return fresh maps.
+// ring operations return fresh maps. They also never hold an explicit
+// zero coefficient — constructors and ring operations drop cancelled
+// entries — which is what makes Add associative up to representation:
+// the empty-side fast paths of Add return the other operand unfiltered,
+// so a smuggled-in zero entry would survive one association order and
+// cancel in another.
 type RelVal map[string]float64
 
 // RelOne returns the multiplicative identity {() -> 1}.
 func RelOne() RelVal { return RelVal{"": 1} }
 
-// RelSingle returns the singleton relation {t -> coeff}.
+// RelSingle returns the singleton relation {t -> coeff}, or the nil
+// zero for coeff 0 (RelVals keep no explicit zero coefficients).
 func RelSingle(t value.Tuple, coeff float64) RelVal {
+	if coeff == 0 {
+		return nil
+	}
 	return RelVal{t.Encode(): coeff}
 }
 

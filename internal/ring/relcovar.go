@@ -259,8 +259,14 @@ func (r RelCovarRing) LiftContinuous(idx int) Lift[*RelCovar] {
 	return func(v value.Value) *RelCovar {
 		x := v.AsFloat()
 		c := r.One()
-		c.S[idx] = RelVal{"": x}
-		c.Q[qi] = RelVal{"": x * x}
+		if x != 0 {
+			// x == 0 lifts to empty components: RelVals keep no explicit
+			// zero coefficients (a zero entry smuggled through Add's
+			// empty-side fast paths would break associativity up to
+			// representation, which parallel partition merges rely on).
+			c.S[idx] = RelVal{"": x}
+			c.Q[qi] = RelVal{"": x * x}
+		}
 		return c
 	}
 }

@@ -1,21 +1,3 @@
-// Package ring implements the application-specific rings at the heart of
-// F-IVM. A view tree carries payloads from one ring; swapping the ring —
-// and only the ring — retargets the same maintenance machinery from
-// counting to linear-regression gradients (COVAR matrices) to the count
-// tables behind pairwise mutual information.
-//
-// The rings provided are those of the paper:
-//
-//   - Ints / Floats: the ring Z (and its float analogue) of tuple
-//     multiplicities. Negative values encode deletes.
-//   - Relational: relations as values, with union as + and a
-//     schema-concatenating join as ×. Used as the scalar domain of the
-//     generalized degree-m ring.
-//   - Covar: the degree-m matrix ring over float64 scalars, carrying the
-//     compound aggregate (c, s, Q) for continuous attributes.
-//   - RelCovar: the degree-m matrix ring over relational values, the
-//     composition that supports one-hot-encoded categorical attributes
-//     and the mutual-information count tables.
 package ring
 
 import "repro/internal/value"
@@ -24,6 +6,11 @@ import "repro/internal/value"
 // additive inverse needed to encode deletes. Implementations must treat
 // payload values as immutable: Add, Mul, and Neg return fresh values (or
 // shared immutable ones) and never modify their arguments in place.
+// Add must additionally be associative and commutative — the
+// maintenance core merges partial aggregates in arbitrary groupings,
+// including the per-partition merges of parallel delta propagation —
+// and because arguments are never mutated, ring operations are safe to
+// call concurrently on shared values.
 type Ring[V any] interface {
 	// Zero returns the additive identity.
 	Zero() V

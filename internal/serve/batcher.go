@@ -1,18 +1,19 @@
 package serve
 
-import (
-	"sync"
-
-	"repro/internal/view"
-)
+import "sync"
 
 // runBatcher drains one relation's shard channel. Each round it greedily
-// collects whatever is queued (up to MaxBatch raw updates), coalesces
-// same-tuple updates by summing multiplicities, prebuilds the delta
-// relation — all off the maintenance thread — and hands the batch to the
-// writer. Building deltas here only touches immutable tree metadata
-// (Maintainable.BuildDelta), so batchers run concurrently with the
-// writer.
+// collects whatever is queued (up to MaxBatch raw updates) and prebuilds
+// the delta relation — all off the maintenance thread. The raw updates
+// feed the delta build directly: BuildDelta merges same-tuple updates
+// under the ring addition as it goes (an insert and a delete of one
+// tuple cancel before any view work), so a separate view.Coalesce pass
+// over the batch would only coalesce the same data twice. The resulting
+// delta relation is exactly what the maintenance core partitions for
+// parallel propagation, so a shard's batch flows shard -> delta ->
+// partitions with no intermediate re-grouping. Building deltas here
+// only touches immutable tree metadata (Maintainable.BuildDelta), so
+// batchers run concurrently with the writer.
 func (s *Server) runBatcher(sh *shard) {
 	defer s.batchers.Done()
 	for msg := range sh.ch {
@@ -33,8 +34,7 @@ func (s *Server) runBatcher(sh *shard) {
 				break collect
 			}
 		}
-		coalesced := view.Coalesce(ups)
-		delta, err := s.eng.BuildDelta(sh.rel, coalesced)
+		delta, err := s.eng.BuildDelta(sh.rel, ups)
 		if err != nil {
 			// Unreachable: the relation was validated at Ingest and the
 			// updates carry no schema. Release waiters and drop.

@@ -1,0 +1,45 @@
+// Package serve is the concurrent serving layer over any fivm engine:
+// continuous ingestion of tuple updates on the write path, lock-free
+// model reads on the read path.
+//
+// The F-IVM engines are single-writer by design — every view update
+// mutates shared state. serve keeps that invariant while exposing the
+// paper's promise (fresh models under a high-velocity update stream) as
+// a service:
+//
+//   - Ingest accepts tuple updates from any number of goroutines and
+//     routes them through per-relation sharded channels.
+//   - One batcher goroutine per relation drains its channel and feeds
+//     the raw updates straight into the engine's delta build
+//     (BuildDelta merges same-tuple updates under the ring addition as
+//     it goes — an insert and a delete of one tuple cancel before any
+//     view work — so no separate coalescing pass runs). Delta building
+//     happens off the maintenance thread.
+//   - A single writer goroutine applies delta batches to the engine
+//     and after each applied round publishes an immutable Snapshot (a
+//     deep fivm.Model clone + counters) through an atomic.Pointer.
+//     When the engine is configured with delta-propagation workers
+//     (fivm.Config.Workers), each applied batch is hash-partitioned by
+//     join key and propagated in parallel inside that single ApplyBuilt
+//     call — the pipeline stays single-writer; the parallelism lives
+//     below it.
+//
+// Readers call Snapshot and work against that immutable value: Model
+// reads, Predict, and Stats never take a lock, never block behind
+// ingestion, and never observe a half-applied batch.
+//
+// # Key invariants
+//
+//   - Exactly one goroutine (the writer) mutates the engine; batchers
+//     only call BuildDelta, which reads immutable tree metadata.
+//   - Every published Snapshot is a deep copy sharing nothing mutable
+//     with the engine.
+//   - Updates to one relation are applied in ingest order; updates to
+//     different relations may interleave, which cannot change the
+//     final state (delta application commutes across relations).
+//
+// The pipeline is engine-agnostic: it talks to the engine only through
+// the Maintainable interface, which the generic fivm.Engine implements
+// — so one daemon binary hosts count, float-SUM, COVAR, join-result,
+// and full analysis workloads alike.
+package serve

@@ -1,30 +1,3 @@
-// Package serve is the concurrent serving layer over any fivm engine:
-// continuous ingestion of tuple updates on the write path, lock-free
-// model reads on the read path.
-//
-// The F-IVM engines are single-threaded by design — every view update
-// mutates shared state. serve keeps that invariant while exposing the
-// paper's promise (fresh models under a high-velocity update stream) as
-// a service:
-//
-//   - Ingest accepts tuple updates from any number of goroutines and
-//     routes them through per-relation sharded channels.
-//   - One batcher goroutine per relation drains its channel, coalesces
-//     same-tuple updates by summing multiplicities (the paper's
-//     batch-update strategy), and prebuilds the delta relation off the
-//     maintenance thread.
-//   - A single writer goroutine applies delta batches to the engine and
-//     after each applied round publishes an immutable Snapshot (a deep
-//     fivm.Model clone + counters) through an atomic.Pointer.
-//
-// Readers call Snapshot and work against that immutable value: Model
-// reads, Predict, and Stats never take a lock, never block behind
-// ingestion, and never observe a half-applied batch.
-//
-// The pipeline is engine-agnostic: it talks to the engine only through
-// the Maintainable interface, which the generic fivm.Engine implements —
-// so one daemon binary hosts count, float-SUM, COVAR, join-result, and
-// full analysis workloads alike.
 package serve
 
 import (
@@ -54,7 +27,8 @@ type Maintainable interface {
 	RelationNames() []string
 	// Arity returns the attribute count of input relation rel.
 	Arity(rel string) (int, bool)
-	// BuildDelta prebuilds a delta relation from coalesced updates.
+	// BuildDelta prebuilds a delta relation from raw updates, merging
+	// same-tuple updates under the ring addition as it goes.
 	BuildDelta(rel string, ups []view.Update) (fivm.Delta, error)
 	// ApplyBuilt applies a delta produced by BuildDelta.
 	ApplyBuilt(rel string, d fivm.Delta) error

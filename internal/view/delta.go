@@ -23,6 +23,13 @@ type Update struct {
 // mechanism: at each node the delta joins the materialized views of the
 // node's other children and the full contents of its other anchored
 // relations, then marginalizes the node's variable.
+//
+// The work splits into a read-only propagation (compute the delta view
+// at every path node — see propagate) and a commit (merge those deltas
+// into the views with the ring addition). When SetParallelism has
+// enabled workers and the delta is large enough, the propagation runs
+// hash-partitioned across goroutines; the resulting views are identical
+// either way.
 func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
 	src, ok := t.sources[name]
 	if !ok {
@@ -35,43 +42,15 @@ func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
 	if delta.Len() == 0 {
 		return nil
 	}
-
-	n := src.anchor
-	// δV at the anchor: join the delta with the node's other operands.
-	d := t.evalNode(n, n.parts(src.data, delta))
-	src.data.MergeAll(t.ring, delta)
-	t.stats.DeltaTuples += delta.Len()
-
-	// Walk to the root, at each step joining the child's delta view with
-	// the parent's other operands.
-	for {
-		n.view.MergeAll(t.ring, d)
-		t.stats.DeltaTuples += d.Len()
-		p := n.parent
-		if p == nil {
-			break
-		}
-		if d.Len() == 0 {
-			return nil // the delta cancelled out; nothing to propagate
-		}
-		d = t.evalNode(p, p.parts(n.view, d))
-		n = p
-	}
-
-	// n is now a root. Propagate into the query result, joining with the
-	// other root views (for disconnected queries).
-	if d.Len() == 0 {
+	path := src.path
+	if t.workers > 1 && delta.Len() >= t.minParallel {
+		t.applyDeltaParallel(src, delta, path)
 		return nil
 	}
-	dres := d
-	for _, r := range t.roots {
-		if r != n {
-			dres = relation.Join(t.ring, dres, r.view)
-		}
-	}
-	dres = relation.Aggregate(t.ring, dres, t.result.Schema(), "", nil)
-	t.result.MergeAll(t.ring, dres)
-	t.stats.DeltaTuples += dres.Len()
+	p := t.propagate(src, delta, path)
+	src.data.MergeAll(t.ring, delta)
+	t.stats.DeltaTuples += delta.Len()
+	t.commit(p, path)
 	return nil
 }
 
@@ -128,6 +107,12 @@ func (t *Tree[V]) Delete(rel string, tuples ...value.Tuple) error {
 // before any view work happens. Updates that net to zero are dropped;
 // the first-appearance order of surviving (relation, tuple) pairs is
 // preserved. The input is not modified.
+//
+// No maintenance path needs it anymore: DeltaFor (and so the serving
+// pipeline's delta build) coalesces inherently by merging payloads
+// under the ring addition. It remains for callers that want to shrink
+// an update stream while it is still a []Update — e.g. before
+// transporting or logging one.
 func Coalesce(ups []Update) []Update {
 	type slot struct {
 		pos  int

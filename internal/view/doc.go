@@ -1,0 +1,42 @@
+// Package view implements F-IVM's core contribution: view trees over
+// variable orders that maintain batches of ring-valued aggregates over
+// project-join queries under inserts and deletes.
+//
+// A Tree is built from (relations, variable order, ring, lift
+// functions). Leaves are the input relations; each variable-order node
+// owns a view grouped by its dependency set, defined as the join of its
+// children followed by marginalizing the node's variable — multiplying
+// each tuple payload by the variable's lift function while summing it
+// away. Updates to a relation propagate along the leaf-to-root path
+// with delta processing against the materialized sibling views.
+//
+// # Key invariants
+//
+//   - Views, deltas, and input relations are all the same structure: a
+//     relation.Map keyed by a schema with ring payloads. Negative
+//     payloads encode deletes; payloads equal to the ring zero are
+//     never stored.
+//   - Propagating a delta only READS off-path state (the sibling views
+//     of each path node, the other anchored relations) and only WRITES
+//     path state (the path nodes' views, the source, the result). The
+//     two sets are disjoint.
+//   - Delta propagation is linear in the delta: applying δ1 then δ2
+//     leaves exactly the state of applying δ1 ⊎ δ2, because each step
+//     is a join (distributes over union) followed by a marginalization
+//     (additive), and view merges use the ring's associative and
+//     commutative addition.
+//
+// The last two invariants are what make the parallel path sound:
+// ApplyDelta on a tree configured with SetParallelism hash-partitions a
+// batch delta by the anchor node's join key, runs the read-only
+// propagation of every partition on its own goroutine, and merges the
+// per-partition delta views single-threaded — producing views identical
+// to the sequential path's.
+//
+// A Tree is not safe for concurrent use by multiple callers: the
+// parallelism is internal to one ApplyDelta call, and one goroutine at
+// a time may drive maintenance. DeltaFor is the exception — it reads
+// only immutable tree metadata and may run concurrently with
+// maintenance, which the serving layer exploits to prebuild deltas off
+// the writer thread.
+package view

@@ -1,0 +1,188 @@
+package view
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// DefaultParallelThreshold is the delta size (distinct tuples) below
+// which ApplyDelta stays sequential even when workers are configured:
+// partitioning and goroutine handoff cost more than they save on small
+// batches.
+const DefaultParallelThreshold = 128
+
+// SetParallelism enables hash-partitioned parallel delta propagation.
+// ApplyDelta splits each incoming delta into `workers` partitions by the
+// hash of the anchor node's join key, propagates every partition
+// leaf-to-root on its own goroutine, and merges the per-partition delta
+// views into the tree with the ring addition. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 restores the sequential path.
+// minBatch <= 0 selects DefaultParallelThreshold; deltas smaller than
+// minBatch are applied sequentially regardless of workers.
+//
+// Correctness rests on two properties the propagation step already has:
+// propagation only READS off-path state (sibling views, other anchored
+// relations) and only the commit WRITES path state, and the ring
+// addition used to merge is associative and commutative with payloads
+// treated as immutable (see ring.Ring). The final views are therefore
+// the same as the sequential path's, independent of partitioning —
+// bit-identical whenever ring addition is exact (integer rings, and
+// float rings over integer-valued data, which the equivalence tests
+// assert). For inexact float data the partition merges group float64
+// additions differently and may differ in the last bits; that is the
+// same rounding nondeterminism the sequential path already has across
+// runs, whose summation order follows randomized map iteration.
+//
+// The tree stays single-writer: SetParallelism must not be called
+// concurrently with maintenance, and Tree remains unsafe for concurrent
+// use by multiple callers.
+func (t *Tree[V]) SetParallelism(workers, minBatch int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if minBatch <= 0 {
+		minBatch = DefaultParallelThreshold
+	}
+	t.workers = workers
+	t.minParallel = minBatch
+}
+
+// Parallelism reports the configured worker count and the minimum delta
+// size routed to the parallel path (1 and DefaultParallelThreshold when
+// never configured).
+func (t *Tree[V]) Parallelism() (workers, minBatch int) {
+	w, mb := t.workers, t.minParallel
+	if w <= 0 {
+		w = 1
+	}
+	if mb <= 0 {
+		mb = DefaultParallelThreshold
+	}
+	return w, mb
+}
+
+// propagation is the read-only half of one delta application: the delta
+// view computed at every node of the leaf-to-root path, plus the delta
+// of the query result. Nothing in it aliases mutable tree state, so
+// propagations for disjoint partitions of one delta can be computed
+// concurrently and committed in any order.
+type propagation[V any] struct {
+	// steps[i] is the delta view for path[i]; the slice stops early when
+	// a delta cancels to empty (nothing further can change upward).
+	steps []*relation.Map[V]
+	// dres is the result-level delta (nil when the propagation died out
+	// before reaching the root).
+	dres *relation.Map[V]
+}
+
+// pathOf returns the leaf-to-root node path starting at anchor n.
+func pathOf[V any](n *Node[V]) []*Node[V] {
+	var out []*Node[V]
+	for ; n != nil; n = n.parent {
+		out = append(out, n)
+	}
+	return out
+}
+
+// propagate computes the delta views along path for one delta (or one
+// partition of a delta) WITHOUT mutating any tree state. At each node
+// the delta joins the materialized views of the node's other children
+// and the full contents of its other anchored relations — all off-path
+// state — and the node's variable is marginalized. Because every read
+// is off-path and every write is deferred to commit, propagate is safe
+// to run concurrently for partitions of the same delta.
+func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node[V]) propagation[V] {
+	p := propagation[V]{steps: make([]*relation.Map[V], 0, len(path))}
+	d := t.evalNode(path[0], path[0].parts(src.data, delta))
+	for i := 0; ; i++ {
+		p.steps = append(p.steps, d)
+		if d.Len() == 0 {
+			return p // the delta cancelled out; nothing to propagate
+		}
+		if i+1 == len(path) {
+			break
+		}
+		d = t.evalNode(path[i+1], path[i+1].parts(path[i].view, d))
+	}
+	// d reached the root: join with the other root views (disconnected
+	// queries) and project to the result schema.
+	dres := d
+	root := path[len(path)-1]
+	for _, r := range t.roots {
+		if r != root {
+			dres = relation.Join(t.ring, dres, r.view)
+		}
+	}
+	p.dres = relation.Aggregate(t.ring, dres, t.result.Schema(), "", nil)
+	return p
+}
+
+// commit merges one propagation into the tree: each step into its path
+// node's view and the result delta into the query result, counting the
+// merged tuples. Only commit (and the source merge in ApplyDelta)
+// writes tree state.
+func (t *Tree[V]) commit(p propagation[V], path []*Node[V]) {
+	for i, d := range p.steps {
+		if d.Len() == 0 {
+			continue
+		}
+		path[i].view.MergeAll(t.ring, d)
+		t.stats.DeltaTuples += d.Len()
+	}
+	if p.dres != nil && p.dres.Len() > 0 {
+		t.result.MergeAll(t.ring, p.dres)
+		t.stats.DeltaTuples += p.dres.Len()
+	}
+}
+
+// applyDeltaParallel is the parallel body of ApplyDelta: partition the
+// delta by the hash of the anchor's join key, propagate each partition
+// on its own goroutine, then commit all partitions (and the source
+// merge) from the calling goroutine. Workers only read off-path state
+// and write goroutine-local maps, so the phase needs no locks; the
+// commit phase is single-threaded ring addition, whose associativity
+// and commutativity make the final state independent of the partition
+// boundaries.
+func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], path []*Node[V]) {
+	// The join key: the anchor's dependency set restricted to the
+	// relation's schema — the attributes through which this delta's
+	// effects flow upward. Tuples agreeing on it land in one partition,
+	// so partitions touch disjoint key ranges of the anchor view. An
+	// empty key (relation fully marginalized at the anchor) degrades to
+	// a full-tuple hash, which is still correct, merely key-oblivious.
+	keyIdx := delta.PartitionKey(src.anchor.vn.Keys)
+	parts := delta.Partition(t.workers, keyIdx)
+	live := parts[:0]
+	for _, p := range parts {
+		if p.Len() > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) <= 1 {
+		// Hash skew put every tuple in one partition (e.g. a per-key
+		// burst): a goroutine handoff would buy zero parallelism, so
+		// run the sequential body on the original delta.
+		p := t.propagate(src, delta, path)
+		src.data.MergeAll(t.ring, delta)
+		t.stats.DeltaTuples += delta.Len()
+		t.commit(p, path)
+		return
+	}
+	props := make([]propagation[V], len(live))
+	var wg sync.WaitGroup
+	for i, part := range live {
+		wg.Add(1)
+		go func(i int, part *relation.Map[V]) {
+			defer wg.Done()
+			props[i] = t.propagate(src, part, path)
+		}(i, part)
+	}
+	wg.Wait()
+	src.data.MergeAll(t.ring, delta)
+	t.stats.DeltaTuples += delta.Len()
+	for _, p := range props {
+		t.commit(p, path)
+	}
+}

@@ -1,14 +1,3 @@
-// Package view implements F-IVM's core contribution: view trees over
-// variable orders that maintain batches of ring-valued aggregates over
-// project-join queries under inserts and deletes.
-//
-// A Tree is built from (relations, variable order, ring, lift functions).
-// Leaves are the input relations; each variable-order node owns a view
-// grouped by its dependency set, defined as the join of its children
-// followed by marginalizing the node's variable — multiplying each tuple
-// payload by the variable's lift function while summing it away. Updates
-// to a relation propagate along the leaf-to-root path with delta
-// processing against the materialized sibling views.
 package view
 
 import (
@@ -79,9 +68,15 @@ type source[V any] struct {
 	schema value.Schema
 	data   *relation.Map[V]
 	anchor *Node[V]
+	// path is the anchor-to-root node path, fixed at tree build; every
+	// delta for this relation propagates along it.
+	path []*Node[V]
 }
 
-// Tree is a materialized view tree. It is not safe for concurrent use.
+// Tree is a materialized view tree. It is not safe for concurrent use:
+// callers must serialize all mutating calls. SetParallelism enables
+// internal hash-partitioned parallelism WITHIN one ApplyDelta call; that
+// does not change the external contract.
 type Tree[V any] struct {
 	ring    ring.Ring[V]
 	order   *vo.Order
@@ -91,6 +86,11 @@ type Tree[V any] struct {
 	free    value.Schema
 	result  *relation.Map[V]
 	stats   Stats
+
+	// Parallel delta propagation (see SetParallelism). workers <= 1
+	// keeps every ApplyDelta on the sequential path.
+	workers     int
+	minParallel int
 }
 
 // Stats counts maintenance work; useful for benchmarks and ablations.
@@ -98,6 +98,10 @@ type Stats struct {
 	// Updates is the number of ApplyDelta calls.
 	Updates int
 	// DeltaTuples is the total number of delta tuples merged into views.
+	// It measures work done, not information content: the parallel path
+	// sums per-partition delta sizes, which can exceed the sequential
+	// count at upper tree nodes when partitions hit the same group — so
+	// compare DeltaTuples across runs only at equal worker counts.
 	DeltaTuples int
 }
 
@@ -155,6 +159,9 @@ func New[V any](spec Spec[V]) (*Tree[V], error) {
 	}
 	for _, root := range spec.Order.Roots {
 		t.roots = append(t.roots, t.buildNode(root, nil))
+	}
+	for _, s := range t.sources {
+		s.path = pathOf(s.anchor)
 	}
 	t.result = relation.New[V](t.resultSchema())
 	return t, nil

@@ -1,8 +1,3 @@
-// Package vo implements variable orders: the tree-shaped elimination
-// orders over query variables from which F-IVM derives its view trees.
-// Each node marginalizes one variable; every input relation is anchored
-// at its lowest variable, and validity requires each relation's schema
-// to lie on a single root-to-leaf path.
 package vo
 
 import (

@@ -1,239 +1,26 @@
 package repro
 
 import (
-	"fmt"
-	"sort"
 	"testing"
-	"time"
 
-	"repro/fivm"
-	"repro/internal/dataset"
-	"repro/internal/serve"
-	"repro/internal/value"
-	"repro/internal/view"
+	"repro/internal/perf"
 )
 
-// benchServeServer builds a Retailer-backed serving engine at benchmark
-// scale, bulk-loaded and ready for concurrent reads and ingestion.
-func benchServeServer(b *testing.B, rows int) (*serve.Server, []view.Update) {
-	b.Helper()
-	cfg := dataset.DefaultRetailerConfig()
-	cfg.InventoryRows = rows
-	db := dataset.Retailer(cfg)
-	var rels []fivm.RelationSpec
-	for _, r := range db.Relations {
-		rels = append(rels, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
-	}
-	an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
-		Relations: rels,
-		Label:     "inventoryunits",
-		Features: []fivm.FeatureSpec{
-			{Attr: "inventoryunits"},
-			{Attr: "prize"},
-			{Attr: "avghhi"},
-			{Attr: "maxtemp"},
-			{Attr: "subcategory", Categorical: true},
-		},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := an.Init(db.TupleMap()); err != nil {
-		b.Fatal(err)
-	}
-	srv, err := serve.New(an, serve.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	st, err := dataset.NewStream(db, dataset.StreamConfig{
-		Relation: "Inventory", Total: 20_000, DeleteRatio: 0.3, Seed: 23,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	return srv, st.Updates
-}
-
-func reportLatencies(b *testing.B, lats []time.Duration) {
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	if len(lats) == 0 {
-		return
-	}
-	b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns/read")
-	b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99-ns/read")
-}
+// The serving benchmarks' bodies live in internal/perf alongside the
+// maintenance suite, so fivm-bench can emit them as JSON and CI can
+// gate them; see docs/PERF.md.
 
 // BenchmarkServeSnapshotReads measures model-read latency against a
 // live Server in two regimes: with the write path idle, and with a
-// saturating background writer ingesting the update stream. Lock-free
-// snapshots mean the reader p50 must not degrade when the writer runs —
-// compare the p50-ns/read metric across the two sub-benchmarks.
-func BenchmarkServeSnapshotReads(b *testing.B) {
-	x := map[string]value.Value{
-		"prize":       value.Float(10),
-		"avghhi":      value.Float(60_000),
-		"maxtemp":     value.Float(20),
-		"subcategory": value.Int(1),
-	}
-	run := func(b *testing.B, ingesting bool) {
-		srv, ups := benchServeServer(b, 5_000)
-		defer srv.Close()
-		stop := make(chan struct{})
-		writerDone := make(chan struct{})
-		ingestedBatches := 0
-		if ingesting {
-			go func() {
-				defer close(writerDone)
-				// Cycle the stream followed by its negation so engine
-				// state stays bounded however long the benchmark runs.
-				neg := make([]view.Update, len(ups))
-				for i, u := range ups {
-					neg[i] = view.Update{Rel: u.Rel, Tuple: u.Tuple, Mult: -u.Mult}
-				}
-				for phase := 0; ; phase++ {
-					stream := ups
-					if phase%2 == 1 {
-						stream = neg
-					}
-					for i := 0; i < len(stream); i += 200 {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						end := i + 200
-						if end > len(stream) {
-							end = len(stream)
-						}
-						if _, err := srv.Ingest(stream[i:end]); err != nil {
-							return
-						}
-						ingestedBatches++
-					}
-				}
-			}()
-		}
-		lats := make([]time.Duration, 0, b.N)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			t0 := time.Now()
-			snap := srv.Snapshot()
-			if _, err := snap.Predict(x); err != nil {
-				b.Fatal(err)
-			}
-			lats = append(lats, time.Since(t0))
-		}
-		b.StopTimer()
-		close(stop)
-		if ingesting {
-			<-writerDone
-			if err := srv.Close(); err != nil { // drain, then final publish
-				b.Fatal(err)
-			}
-			v := srv.Snapshot().Version
-			if ingestedBatches > 0 && v < 2 {
-				b.Fatalf("writer made no progress (snapshot version %d after %d batches)", v, ingestedBatches)
-			}
-			b.ReportMetric(float64(v), "snapshots")
-		}
-		reportLatencies(b, lats)
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
-	}
-	b.Run("idle-writer", func(b *testing.B) { run(b, false) })
-	b.Run("active-writer", func(b *testing.B) { run(b, true) })
-}
+// saturating background writer. Lock-free snapshots mean the reader
+// p50 must not degrade when the writer runs — compare the p50-ns/read
+// metric across the two sub-benchmarks.
+func BenchmarkServeSnapshotReads(b *testing.B) { perf.RunGroup(b, "ServeSnapshotReads") }
 
 // BenchmarkServeIngestWorkers measures batched write-path throughput
-// through the full pipeline with parallel delta propagation at 1/2/4/8
-// workers: shards feed raw updates straight into the delta build, and
-// the writer's ApplyBuilt hash-partitions each delta across the worker
-// pool. Batches of 1000 keep the coalesced deltas above the view
-// layer's parallel threshold.
-func BenchmarkServeIngestWorkers(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
-			cfg := dataset.DefaultRetailerConfig()
-			cfg.InventoryRows = 5_000
-			db := dataset.Retailer(cfg)
-			var rels []fivm.RelationSpec
-			for _, r := range db.Relations {
-				rels = append(rels, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
-			}
-			an, err := fivm.NewAnalysis(fivm.AnalysisConfig{
-				Relations: rels,
-				Features: []fivm.FeatureSpec{
-					{Attr: "inventoryunits"},
-					{Attr: "prize"},
-					{Attr: "avghhi"},
-					{Attr: "subcategory", Categorical: true},
-				},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			an.SetParallelism(workers)
-			if err := an.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			srv, err := serve.New(an, serve.Config{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			st, err := dataset.NewStream(db, dataset.StreamConfig{
-				Relation: "Inventory", Total: 20_000, DeleteRatio: 0.3, Seed: 23,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			ups := st.Updates
-			const batch = 1000
-			b.ResetTimer()
-			sent := 0
-			for i := 0; i < b.N; i++ {
-				lo := (i * batch) % len(ups)
-				hi := lo + batch
-				if hi > len(ups) {
-					hi = len(ups)
-				}
-				if _, err := srv.Ingest(ups[lo:hi]); err != nil {
-					b.Fatal(err)
-				}
-				sent += hi - lo
-			}
-			if err := srv.Close(); err != nil { // drain everything accepted
-				b.Fatal(err)
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "updates/sec")
-		})
-	}
-}
+// through the full pipeline with parallel delta propagation.
+func BenchmarkServeIngestWorkers(b *testing.B) { perf.RunGroup(b, "ServeIngestWorkers") }
 
 // BenchmarkServeIngest measures write-path throughput through the full
 // pipeline (shard -> coalesce -> delta -> apply -> snapshot publish).
-func BenchmarkServeIngest(b *testing.B) {
-	srv, ups := benchServeServer(b, 5_000)
-	defer srv.Close()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		u := ups[i%len(ups)]
-		if i%(2*len(ups)) >= len(ups) {
-			u.Mult = -u.Mult // undo phase keeps state bounded
-		}
-		if _, err := srv.Ingest([]view.Update{u}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	done, err := srv.Ingest(nil)
-	_ = done
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := srv.Close(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	st := srv.Stats()
-	b.ReportMetric(float64(st.Applied)/b.Elapsed().Seconds(), "updates/sec")
-	b.ReportMetric(float64(st.Batches), "batches")
-}
+func BenchmarkServeIngest(b *testing.B) { perf.Named("ServeIngest")(b) }

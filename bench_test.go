@@ -4,593 +4,78 @@
 //
 //	go test -bench=. -benchmem
 //
-// Each benchmark reports updates/sec via b.ReportMetric so the shapes in
+// The benchmark bodies live in internal/perf (the canonical suite), so
+// the same measurements are runnable as machine-readable JSON via
+// `fivm-bench -exp perf` and gated in CI by `fivm-bench compare` — see
+// docs/PERF.md. These wrappers keep the familiar go-test names; each
+// reports updates/sec via b.ReportMetric so the shapes in
 // EXPERIMENTS.md can be re-derived from a single run.
 package repro
 
 import (
 	"testing"
 
-	"repro/fivm"
-	"repro/internal/baseline"
-	"repro/internal/dataset"
-	"repro/internal/ring"
-	"repro/internal/value"
-	"repro/internal/view"
-	"repro/internal/vo"
+	"repro/internal/perf"
 )
 
-// benchRetailer builds the shared Retailer fixture at benchmark scale.
-func benchRetailer(b *testing.B, rows int) (*dataset.Database, []fivm.RelationSpec, []baseline.RelSpec, []string) {
-	b.Helper()
-	cfg := dataset.DefaultRetailerConfig()
-	cfg.InventoryRows = rows
-	db := dataset.Retailer(cfg)
-	var fs []fivm.RelationSpec
-	var bs []baseline.RelSpec
-	for _, r := range db.Relations {
-		fs = append(fs, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
-		bs = append(bs, baseline.RelSpec{Name: r.Name, Schema: r.Schema()})
-	}
-	return db, fs, bs, []string{"inventoryunits", "prize", "avghhi", "maxtemp", "medianage"}
-}
-
-func benchStream(b *testing.B, db *dataset.Database, n int, deleteRatio float64) []view.Update {
-	b.Helper()
-	st, err := dataset.NewStream(db, dataset.StreamConfig{
-		Relation: "Inventory", Total: n, DeleteRatio: deleteRatio, Seed: 17,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	return st.Updates
-}
-
-func reportRate(b *testing.B, updatesPerIter int) {
-	b.ReportMetric(float64(updatesPerIter)*float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
-}
-
-// --- E1: Figure 1 toy maintenance -----------------------------------------
+// --- E1: Figure 1 toy maintenance -------------------------------------------
 
 // BenchmarkE1Figure1Delta measures one δR maintenance step on the
 // Figure 1 toy database under the degree-3 COVAR ring.
-func BenchmarkE1Figure1Delta(b *testing.B) {
-	rels := []vo.Rel{
-		{Name: "R", Schema: value.NewSchema("A", "B")},
-		{Name: "S", Schema: value.NewSchema("A", "C", "D")},
-	}
-	r := ring.NewCovarRing(3)
-	tr, err := view.New(view.Spec[*ring.Covar]{
-		Ring: r, Relations: rels,
-		Lifts: map[string]ring.Lift[*ring.Covar]{"B": r.Lift(0), "C": r.Lift(1), "D": r.Lift(2)},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := tr.Init(map[string][]value.Tuple{
-		"R": {value.T("a1", 1), value.T("a2", 2)},
-		"S": {value.T("a1", 1, 1), value.T("a1", 2, 3), value.T("a2", 2, 2)},
-	}); err != nil {
-		b.Fatal(err)
-	}
-	tup := value.T("a1", 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := tr.Insert("R", tup); err != nil {
-			b.Fatal(err)
-		}
-		if err := tr.Delete("R", tup); err != nil {
-			b.Fatal(err)
-		}
-	}
-	reportRate(b, 2)
-}
+func BenchmarkE1Figure1Delta(b *testing.B) { perf.Named("E1Figure1Delta")(b) }
 
-// --- E2: throughput, F-IVM vs baselines -----------------------------------
-
-const (
-	e2Rows      = 20_000
-	e2Stream    = 5_000
-	e2BatchSize = 1_000
-)
+// --- E2: throughput, F-IVM vs baselines -------------------------------------
 
 // BenchmarkE2FIVM maintains the 21-aggregate COVAR payload over the
 // 5-way Retailer join with F-IVM's factorized ring maintenance.
-func BenchmarkE2FIVM(b *testing.B) {
-	db, fs, _, aggs := benchRetailer(b, e2Rows)
-	ups := benchStream(b, db, e2Stream, 0.2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := eng.Init(db.TupleMap()); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-		for j := 0; j < len(ups); j += e2BatchSize {
-			k := j + e2BatchSize
-			if k > len(ups) {
-				k = len(ups)
-			}
-			if err := eng.Apply(ups[j:k]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	reportRate(b, len(ups))
-}
+func BenchmarkE2FIVM(b *testing.B) { perf.Named("E2FIVM")(b) }
 
 // BenchmarkE2FlatIVM maintains the same aggregates with the
 // DBToaster-style flat first-order baseline.
-func BenchmarkE2FlatIVM(b *testing.B) {
-	db, _, bs, aggs := benchRetailer(b, e2Rows)
-	ups := benchStream(b, db, e2Stream, 0.2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		flat, err := baseline.NewFlatIVM(bs, aggs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := flat.Init(db.TupleMap()); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-		for j := 0; j < len(ups); j += e2BatchSize {
-			k := j + e2BatchSize
-			if k > len(ups) {
-				k = len(ups)
-			}
-			if err := flat.Apply(ups[j:k]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	reportRate(b, len(ups))
-}
+func BenchmarkE2FlatIVM(b *testing.B) { perf.Named("E2FlatIVM")(b) }
 
-// BenchmarkE2Reeval recomputes from scratch per batch (shortened stream;
-// the rate metric is what matters).
-func BenchmarkE2Reeval(b *testing.B) {
-	db, _, bs, aggs := benchRetailer(b, e2Rows)
-	ups := benchStream(b, db, 2*e2BatchSize, 0.2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		re, err := baseline.NewReeval(bs, aggs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := re.Init(db.TupleMap()); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-		for j := 0; j < len(ups); j += e2BatchSize {
-			k := j + e2BatchSize
-			if k > len(ups) {
-				k = len(ups)
-			}
-			if err := re.Apply(ups[j:k]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	reportRate(b, len(ups))
-}
+// BenchmarkE2Reeval recomputes from scratch per batch.
+func BenchmarkE2Reeval(b *testing.B) { perf.Named("E2Reeval")(b) }
 
-// BenchmarkE2CompoundCategorical maintains the mixed categorical payload
-// (thousands of one-hot aggregates) — the configuration behind the
-// paper's 10K-updates/sec claim.
-func BenchmarkE2CompoundCategorical(b *testing.B) {
-	db, fs, _, _ := benchRetailer(b, e2Rows)
-	features := []fivm.FeatureSpec{
-		{Attr: "inventoryunits"},
-		{Attr: "prize"},
-		{Attr: "avghhi"},
-		{Attr: "subcategory", Categorical: true},
-		{Attr: "category", Categorical: true},
-		{Attr: "categoryCluster", Categorical: true},
-		{Attr: "zip", Categorical: true},
-	}
-	ups := benchStream(b, db, e2Stream, 0.2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		an, err := fivm.NewAnalysis(fivm.AnalysisConfig{Relations: fs, Features: features})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := an.Init(db.TupleMap()); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-		for j := 0; j < len(ups); j += e2BatchSize {
-			k := j + e2BatchSize
-			if k > len(ups) {
-				k = len(ups)
-			}
-			if err := an.Apply(ups[j:k]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	reportRate(b, len(ups))
-}
+// BenchmarkE2CompoundCategorical maintains the mixed categorical
+// payload (thousands of one-hot aggregates) — the configuration behind
+// the paper's 10K-updates/sec claim.
+func BenchmarkE2CompoundCategorical(b *testing.B) { perf.Named("E2CompoundCategorical")(b) }
 
-// --- E7: sweeps ------------------------------------------------------------
+// --- E7: sweeps -------------------------------------------------------------
 
 // BenchmarkE7BatchSize sweeps the update bulk size.
-func BenchmarkE7BatchSize(b *testing.B) {
-	for _, batch := range []int{1, 10, 100, 1000} {
-		b.Run(sizeName(batch), func(b *testing.B) {
-			db, fs, _, aggs := benchRetailer(b, 5_000)
-			ups := benchStream(b, db, 2_000, 0.2)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := eng.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for j := 0; j < len(ups); j += batch {
-					k := j + batch
-					if k > len(ups) {
-						k = len(ups)
-					}
-					if err := eng.Apply(ups[j:k]); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			reportRate(b, len(ups))
-		})
-	}
-}
+func BenchmarkE7BatchSize(b *testing.B) { perf.RunGroup(b, "E7BatchSize") }
 
 // BenchmarkE7AggCount sweeps the COVAR degree m.
-func BenchmarkE7AggCount(b *testing.B) {
-	attrs := []string{"inventoryunits", "prize", "avghhi", "maxtemp", "medianage",
-		"population", "tot_area_sq_ft", "sell_area_sq_ft", "mintemp", "meanwind",
-		"houseunits", "families", "households", "males", "females",
-		"white", "black", "asian", "hispanic", "occupiedhouseunits"}
-	for _, m := range []int{2, 5, 10, 20} {
-		b.Run(sizeName(m), func(b *testing.B) {
-			db, fs, _, _ := benchRetailer(b, 5_000)
-			ups := benchStream(b, db, 2_000, 0.2)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				eng, err := fivm.NewCovarEngine(fs, attrs[:m], nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := eng.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for j := 0; j < len(ups); j += 500 {
-					k := j + 500
-					if k > len(ups) {
-						k = len(ups)
-					}
-					if err := eng.Apply(ups[j:k]); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			reportRate(b, len(ups))
-		})
-	}
-}
+func BenchmarkE7AggCount(b *testing.B) { perf.RunGroup(b, "E7AggCount") }
 
-// --- E8: parallel delta propagation ----------------------------------------
+// --- E8: parallel delta propagation -----------------------------------------
 
 // BenchmarkE8Workers sweeps the delta-propagation worker count on the
-// Retailer batch stream (COVAR degree 5, batches of 1000): the same
-// workload as E2, with update batches hash-partitioned by join key and
-// propagated concurrently. workers=1 is the sequential baseline; on a
-// multi-core host the 4-worker rate should exceed it, while on a
-// single-core host the sweep measures the partitioning overhead.
-func BenchmarkE8Workers(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run("workers"+itoa(workers), func(b *testing.B) {
-			db, fs, _, aggs := benchRetailer(b, e2Rows)
-			ups := benchStream(b, db, e2Stream, 0.2)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				eng.SetParallelism(workers)
-				if err := eng.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for j := 0; j < len(ups); j += e2BatchSize {
-					k := j + e2BatchSize
-					if k > len(ups) {
-						k = len(ups)
-					}
-					if err := eng.Apply(ups[j:k]); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			reportRate(b, len(ups))
-		})
-	}
-}
+// Retailer batch stream; workers=1 is the sequential baseline (see the
+// suite docs in internal/perf for the single- vs multi-core caveat).
+func BenchmarkE8Workers(b *testing.B) { perf.RunGroup(b, "E8Workers") }
 
 // BenchmarkE8WorkersCategorical is the same sweep over the heavier
-// mixed categorical payload (the relational degree-7 ring), where the
-// per-tuple ring work is large enough for partitioning to pay off at
-// smaller batch sizes.
-func BenchmarkE8WorkersCategorical(b *testing.B) {
-	features := []fivm.FeatureSpec{
-		{Attr: "inventoryunits"},
-		{Attr: "prize"},
-		{Attr: "avghhi"},
-		{Attr: "subcategory", Categorical: true},
-		{Attr: "category", Categorical: true},
-		{Attr: "categoryCluster", Categorical: true},
-		{Attr: "zip", Categorical: true},
-	}
-	for _, workers := range []int{1, 4} {
-		b.Run("workers"+itoa(workers), func(b *testing.B) {
-			db, fs, _, _ := benchRetailer(b, e2Rows)
-			ups := benchStream(b, db, e2Stream, 0.2)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				an, err := fivm.NewAnalysis(fivm.AnalysisConfig{Relations: fs, Features: features})
-				if err != nil {
-					b.Fatal(err)
-				}
-				an.SetParallelism(workers)
-				if err := an.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for j := 0; j < len(ups); j += e2BatchSize {
-					k := j + e2BatchSize
-					if k > len(ups) {
-						k = len(ups)
-					}
-					if err := an.Apply(ups[j:k]); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			reportRate(b, len(ups))
-		})
-	}
-}
+// mixed categorical payload.
+func BenchmarkE8WorkersCategorical(b *testing.B) { perf.RunGroup(b, "E8WorkersCategorical") }
 
-// --- A1–A3: ablations --------------------------------------------------------
+// --- A1–A4: ablations -------------------------------------------------------
 
 // BenchmarkAblationSharing compares the compound ring against one
-// float-ring view tree per aggregate (factorized but unshared): the
-// benefit of sharing scalar/linear aggregates inside one payload.
-func BenchmarkAblationSharing(b *testing.B) {
-	db, fs, _, aggs := benchRetailer(b, 5_000)
-	ups := benchStream(b, db, 1_000, 0.2)
-
-	b.Run("compound", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := eng.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-			if err := eng.Apply(ups); err != nil {
-				b.Fatal(err)
-			}
-		}
-		reportRate(b, len(ups))
-	})
-
-	b.Run("unshared", func(b *testing.B) {
-		// One Z-ring count tree plus one float tree per SUM(X) and
-		// SUM(X*Y): 1 + 5 + 15 = 21 independent view trees.
-		build := func() []*view.Tree[float64] {
-			var trees []*view.Tree[float64]
-			var rels []vo.Rel
-			for _, r := range db.Relations {
-				rels = append(rels, vo.Rel{Name: r.Name, Schema: value.NewSchema(r.Attrs...)})
-			}
-			add := func(lifts map[string]ring.Lift[float64]) {
-				t, err := view.New(view.Spec[float64]{Ring: ring.Floats{}, Relations: rels, Lifts: lifts})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := t.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				trees = append(trees, t)
-			}
-			add(nil) // count
-			for i, a := range aggs {
-				add(map[string]ring.Lift[float64]{a: ring.IdentityLift})
-				add(map[string]ring.Lift[float64]{a: ring.SquareLift})
-				for _, c := range aggs[i+1:] {
-					add(map[string]ring.Lift[float64]{a: ring.IdentityLift, c: ring.IdentityLift})
-				}
-			}
-			return trees
-		}
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			trees := build()
-			b.StartTimer()
-			for _, t := range trees {
-				if err := t.ApplyUpdates(ups); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-		reportRate(b, len(ups))
-	})
-}
+// float-ring view tree per aggregate (factorized but unshared).
+func BenchmarkAblationSharing(b *testing.B) { perf.RunGroup(b, "AblationSharing") }
 
 // BenchmarkAblationDeletes sweeps the delete ratio: the rate must stay
 // in the same band (deletes are just negative payloads).
-func BenchmarkAblationDeletes(b *testing.B) {
-	for _, ratio := range []struct {
-		name string
-		r    float64
-	}{{"insertOnly", 0}, {"quarter", 0.25}, {"half", 0.5}} {
-		b.Run(ratio.name, func(b *testing.B) {
-			db, fs, _, aggs := benchRetailer(b, 5_000)
-			ups := benchStream(b, db, 2_000, ratio.r)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := eng.Init(db.TupleMap()); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for j := 0; j < len(ups); j += 500 {
-					k := j + 500
-					if k > len(ups) {
-						k = len(ups)
-					}
-					if err := eng.Apply(ups[j:k]); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			reportRate(b, len(ups))
-		})
-	}
-}
-
-func sizeName(n int) string {
-	switch {
-	case n >= 1000:
-		return itoa(n/1000) + "k"
-	default:
-		return itoa(n)
-	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}
+func BenchmarkAblationDeletes(b *testing.B) { perf.RunGroup(b, "AblationDeletes") }
 
 // BenchmarkAblationFactorized (A2) compares maintaining the COVAR
-// gradient against maintaining the join result itself through the same
-// view tree — only the ring differs.
-func BenchmarkAblationFactorized(b *testing.B) {
-	db, fs, _, aggs := benchRetailer(b, 5_000)
-	ups := benchStream(b, db, 1_000, 0.2)
-
-	b.Run("gradient", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			eng, err := fivm.NewCovarEngine(fs, aggs, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := eng.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-			if err := eng.Apply(ups); err != nil {
-				b.Fatal(err)
-			}
-		}
-		reportRate(b, len(ups))
-	})
-
-	b.Run("joinResult", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			je, err := fivm.NewJoinEngine(fs, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := je.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-			if err := je.Apply(ups); err != nil {
-				b.Fatal(err)
-			}
-		}
-		reportRate(b, len(ups))
-	})
-}
+// gradient against maintaining the join itself through the same view
+// tree — only the ring differs.
+func BenchmarkAblationFactorized(b *testing.B) { perf.RunGroup(b, "AblationFactorized") }
 
 // BenchmarkAblationRanged (A4) compares full-degree view payloads with
-// ranged payloads (Figure 2d's RingCofactor<double, idx, cnt>): views
-// carry only their own subtree's aggregates.
-func BenchmarkAblationRanged(b *testing.B) {
-	attrs := []string{"inventoryunits", "prize", "avghhi", "maxtemp", "medianage",
-		"population", "tot_area_sq_ft", "sell_area_sq_ft", "mintemp", "meanwind",
-		"houseunits", "families", "households", "males", "females",
-		"white", "black", "asian", "hispanic", "occupiedhouseunits"}
-	db, fs, _, _ := benchRetailer(b, 5_000)
-	ups := benchStream(b, db, 1_000, 0.2)
-
-	b.Run("fullDegree", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			eng, err := fivm.NewCovarEngine(fs, attrs, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := eng.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-			if err := eng.Apply(ups); err != nil {
-				b.Fatal(err)
-			}
-		}
-		reportRate(b, len(ups))
-	})
-	b.Run("ranged", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			eng, err := fivm.NewRangedCovarEngine(fs, attrs, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := eng.Init(db.TupleMap()); err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-			if err := eng.Apply(ups); err != nil {
-				b.Fatal(err)
-			}
-		}
-		reportRate(b, len(ups))
-	})
-}
+// ranged payloads (Figure 2d's RingCofactor<double, idx, cnt>).
+func BenchmarkAblationRanged(b *testing.B) { perf.RunGroup(b, "AblationRanged") }

@@ -1,12 +1,16 @@
 // Command fivm-bench regenerates every evaluation artifact of the paper
 // (DESIGN.md §3): Figure 1's worked example (e1), the §1 throughput
 // claims (e2), the application tabs (e3–e6), the batch/aggregate sweeps
-// (e7), and the ablations (a1, a3).
+// (e7), and the ablations (a1, a3). It also runs the machine-readable
+// performance suite (perf) and compares two result files, which is how
+// CI gates performance regressions (docs/PERF.md).
 //
 // Usage:
 //
 //	fivm-bench -exp e2 -scale demo
 //	fivm-bench -exp all -scale small
+//	fivm-bench -exp perf -json BENCH_dev.json [-bench regex] [-benchtime 100ms]
+//	fivm-bench compare [-max-rate-drop 0.15] [-max-alloc-growth 0.10] BENCH_baseline.json BENCH_dev.json
 package main
 
 import (
@@ -15,15 +19,28 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all")
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+
+	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all, or perf")
 	scale := flag.String("scale", "small", "workload scale: small|demo")
+	jsonOut := flag.String("json", "", "perf: write machine-readable results to this file (e.g. BENCH_dev.json)")
+	benchFilter := flag.String("bench", "", "perf: only run suite benchmarks matching this regexp")
+	benchTime := flag.String("benchtime", "", "perf: per-benchmark measurement target (go test -benchtime syntax, e.g. 100ms or 10x)")
 	flag.Parse()
+
+	if *exp == "perf" {
+		os.Exit(runPerf(*jsonOut, *benchFilter, *benchTime))
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -55,6 +72,77 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runPerf executes the canonical benchmark suite (internal/perf) and
+// prints one line per benchmark; with -json it also writes the
+// machine-readable report that `fivm-bench compare` consumes.
+func runPerf(jsonOut, benchFilter, benchTime string) int {
+	var filter *regexp.Regexp
+	if benchFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(benchFilter); err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench: bad -bench regexp: %v\n", err)
+			return 2
+		}
+	}
+	rep, err := perf.Run(perf.Suite(), perf.Options{
+		Filter:    filter,
+		BenchTime: benchTime,
+		Commit:    gitCommit(),
+		Progress:  os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 1
+	}
+	if jsonOut != "" {
+		if err := rep.WriteJSON(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %d results to %s\n", len(rep.Results), jsonOut)
+	}
+	return 0
+}
+
+// runCompare diffs two perf reports and exits non-zero when the current
+// one regresses beyond the thresholds — the CI gate.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	th := perf.DefaultThresholds()
+	fs.Float64Var(&th.MaxRateDrop, "max-rate-drop", th.MaxRateDrop, "tolerated relative drop in updates/sec (ns/op growth where no rate metric exists)")
+	fs.Float64Var(&th.MaxAllocGrowth, "max-alloc-growth", th.MaxAllocGrowth, "tolerated relative growth in allocs/op")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fivm-bench compare [flags] baseline.json current.json")
+		return 2
+	}
+	baseline, err := perf.ReadJSON(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 2
+	}
+	current, err := perf.ReadJSON(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 2
+	}
+	findings, ok := perf.Compare(baseline, current, th)
+	perf.WriteFindings(os.Stdout, findings, ok)
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// gitCommit best-effort stamps reports with the working tree's commit.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // runE1 replays Figure 1 by delegating to the quickstart example, which

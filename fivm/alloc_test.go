@@ -1,0 +1,105 @@
+package fivm_test
+
+import (
+	"testing"
+
+	"repro/fivm"
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// The alloc-regression tests pin the steady-state allocation cost of
+// the paper's headline maintenance path: one single-tuple delta applied
+// through ApplyDelta (delta prebuilt, as the serving pipeline does).
+// The ceilings are the values measured after the scratch-buffer rework
+// (see docs/PERF.md) plus ~25% headroom for Go-version noise — they are
+// regression tripwires, not targets. If an intentional change raises
+// them, update the constants alongside an explanatory commit, and keep
+// fivm-bench compare green (it enforces a 10% allocs/op budget on the
+// full benchmark suite).
+const (
+	// maxAllocsCovarSingle bounds allocs for one insert + one delete of
+	// a single tuple on the scalar-covar engine (degree 3, two-relation
+	// join). Measured 82 allocs for the pair (41 per update) after the
+	// scratch-buffer rework (down from 230+ before it).
+	maxAllocsCovarSingle = 100
+	// maxAllocsCountSingle bounds the same pair on the count engine.
+	// Measured 54 allocs for the pair (27 per update).
+	maxAllocsCountSingle = 68
+)
+
+func allocFixtureData() map[string][]value.Tuple {
+	return map[string][]value.Tuple{
+		"R": {value.T("a1", 1), value.T("a2", 2)},
+		"S": {value.T("a1", 1, 1), value.T("a1", 2, 3), value.T("a2", 2, 2)},
+	}
+}
+
+// measureSingleTupleApply builds the ±1 deltas for one R tuple and
+// returns the allocations of applying the insert and the delete (the
+// pair leaves the engine state unchanged, so every iteration sees the
+// same view sizes).
+func measureSingleTupleApply[V any](t *testing.T, eng *fivm.Engine[V]) float64 {
+	t.Helper()
+	if err := eng.Init(allocFixtureData()); err != nil {
+		t.Fatal(err)
+	}
+	tup := value.T("a1", 1)
+	dIns, err := eng.DeltaFor("R", []view.Update{{Rel: "R", Tuple: tup, Mult: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDel, err := eng.DeltaFor("R", []view.Update{{Rel: "R", Tuple: tup, Mult: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func() {
+		if err := eng.ApplyDelta("R", dIns); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.ApplyDelta("R", dDel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply() // warm the tree's scratch buffers before measuring
+	return testing.AllocsPerRun(300, apply)
+}
+
+func TestApplyDeltaAllocsCovar(t *testing.T) {
+	rels := []fivm.RelationSpec{
+		{Name: "R", Attrs: []string{"A", "B"}},
+		{Name: "S", Attrs: []string{"A", "C", "D"}},
+	}
+	eng, err := fivm.NewCovarEngine(rels, []string{"B", "C", "D"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measureSingleTupleApply(t, eng.Engine)
+	t.Logf("covar single-tuple insert+delete: %.0f allocs", got)
+	if got > maxAllocsCovarSingle {
+		t.Errorf("covar single-tuple ApplyDelta pair allocates %.0f, budget %d — the hot path regressed (see docs/PERF.md)", got, maxAllocsCovarSingle)
+	}
+}
+
+func TestApplyDeltaAllocsCount(t *testing.T) {
+	cat := fivm.NewCatalog()
+	if err := cat.AddRelation("R", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRelation("S", "A", "C", "D"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := fivm.Parse(cat, "SELECT SUM(1) FROM R NATURAL JOIN S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fivm.NewCountEngine(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measureSingleTupleApply(t, eng.Engine)
+	t.Logf("count single-tuple insert+delete: %.0f allocs", got)
+	if got > maxAllocsCountSingle {
+		t.Errorf("count single-tuple ApplyDelta pair allocates %.0f, budget %d — the hot path regressed (see docs/PERF.md)", got, maxAllocsCountSingle)
+	}
+}

@@ -34,6 +34,13 @@
 //     hash-partitioned parallel delta propagation INSIDE one
 //     ApplyDelta call — the views it produces are identical to the
 //     sequential path's, and the single-writer contract is unchanged.
+//   - Maintenance scratch lives on the engine (its view tree): delta
+//     buffers, propagation-steps and partition slots, and cached ±1
+//     payloads are recycled across Apply/ApplyDelta calls under the
+//     single-writer contract, which is why the steady-state hot path
+//     allocates little (pinned by alloc_test.go; see docs/PERF.md). A
+//     delta passed to ApplyDelta/ApplyBuilt is ceded to the engine —
+//     callers must not mutate it afterwards.
 //
 // A minimal session:
 //

@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds bound the acceptable drift between a baseline report and
+// a new one.
+type Thresholds struct {
+	// MaxRateDrop is the tolerated relative drop in updates/sec (or, for
+	// benchmarks without a rate metric, the tolerated relative growth in
+	// ns/op). 0.15 = 15%.
+	MaxRateDrop float64
+	// MaxAllocGrowth is the tolerated relative growth in allocs/op.
+	// 0.10 = 10%.
+	MaxAllocGrowth float64
+	// AllocFloor is the absolute allocs/op growth always tolerated, so
+	// single-digit benchmarks aren't failed by one incidental
+	// allocation. Defaults to 16 via DefaultThresholds.
+	AllocFloor int64
+}
+
+// DefaultThresholds returns the CI gate: >15% throughput regression or
+// >10% allocs/op growth fails.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxRateDrop: 0.15, MaxAllocGrowth: 0.10, AllocFloor: 16}
+}
+
+// Finding is one comparison outcome, regression or note.
+type Finding struct {
+	Name       string
+	Regression bool
+	Detail     string
+}
+
+// Compare matches results by name and reports drift beyond the
+// thresholds. Benchmarks present on only one side produce notes, not
+// regressions (the suite is allowed to grow and shrink); a regression
+// in either rate or allocations fails that benchmark.
+func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok bool) {
+	ok = true
+	// Rate metrics (updates/sec, ns/op) are hardware-dependent: a
+	// baseline recorded on a different core count measures a different
+	// machine, not a code change. Enforce only the hardware-independent
+	// allocation budget in that case, loudly.
+	sameEnv := baseline.GOMAXPROCS == current.GOMAXPROCS
+	if !sameEnv {
+		findings = append(findings, Finding{Name: "(environment)",
+			Detail: fmt.Sprintf("baseline GOMAXPROCS=%d vs current GOMAXPROCS=%d: rate checks skipped, allocs/op still enforced — refresh BENCH_baseline.json on matching hardware (docs/PERF.md)",
+				baseline.GOMAXPROCS, current.GOMAXPROCS)})
+	}
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Results))
+	for _, cur := range current.Results {
+		seen[cur.Name] = true
+		old, inBase := base[cur.Name]
+		if !inBase {
+			findings = append(findings, Finding{Name: cur.Name, Detail: "new benchmark (no baseline entry)"})
+			continue
+		}
+
+		switch {
+		case !sameEnv:
+			// rate not comparable; alloc check below still applies
+		case old.UpdatesPerSec > 0 && cur.UpdatesPerSec > 0:
+			if cur.UpdatesPerSec < old.UpdatesPerSec*(1-th.MaxRateDrop) {
+				ok = false
+				findings = append(findings, Finding{Name: cur.Name, Regression: true,
+					Detail: fmt.Sprintf("updates/sec %.0f -> %.0f (-%.1f%%, budget %.0f%%)",
+						old.UpdatesPerSec, cur.UpdatesPerSec, 100*(1-cur.UpdatesPerSec/old.UpdatesPerSec), 100*th.MaxRateDrop)})
+			}
+		case old.UpdatesPerSec > 0 && cur.UpdatesPerSec == 0:
+			// The rate metric vanished (reportRate dropped or renamed):
+			// the headline gate would silently degrade to ns/op, so say
+			// so before falling back.
+			findings = append(findings, Finding{Name: cur.Name,
+				Detail: "updates/sec metric missing from current run (baseline had one); falling back to ns/op"})
+			fallthrough
+		case old.NsPerOp > 0:
+			// Guard old.NsPerOp again: a fallthrough from the
+			// missing-metric case skips this case's condition.
+			if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+th.MaxRateDrop) {
+				ok = false
+				findings = append(findings, Finding{Name: cur.Name, Regression: true,
+					Detail: fmt.Sprintf("ns/op %.0f -> %.0f (+%.1f%%, budget %.0f%%)",
+						old.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/old.NsPerOp-1), 100*th.MaxRateDrop)})
+			}
+		}
+
+		if growth := cur.AllocsPerOp - old.AllocsPerOp; growth > th.AllocFloor &&
+			float64(cur.AllocsPerOp) > float64(old.AllocsPerOp)*(1+th.MaxAllocGrowth) {
+			ok = false
+			findings = append(findings, Finding{Name: cur.Name, Regression: true,
+				Detail: fmt.Sprintf("allocs/op %d -> %d (+%.1f%%, budget %.0f%%)",
+					old.AllocsPerOp, cur.AllocsPerOp, 100*(float64(cur.AllocsPerOp)/float64(old.AllocsPerOp)-1), 100*th.MaxAllocGrowth)})
+		}
+	}
+	for _, r := range baseline.Results {
+		if !seen[r.Name] {
+			findings = append(findings, Finding{Name: r.Name, Detail: "missing from current run (baseline entry unmatched)"})
+		}
+	}
+	return findings, ok
+}
+
+// WriteFindings renders findings as one line each; regressions are
+// prefixed REGRESSION so CI logs grep cleanly.
+func WriteFindings(w io.Writer, findings []Finding, ok bool) {
+	for _, f := range findings {
+		tag := "note"
+		if f.Regression {
+			tag = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%-10s %-40s %s\n", tag, f.Name, f.Detail)
+	}
+	if ok {
+		fmt.Fprintln(w, "perf: within thresholds")
+	} else {
+		fmt.Fprintln(w, "perf: REGRESSION beyond thresholds")
+	}
+}

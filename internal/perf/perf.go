@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Result is one benchmark's machine-readable outcome. GOMAXPROCS and
+// Commit are denormalized onto every result so a single entry is
+// self-describing when results are sliced across files.
+type Result struct {
+	Name          string  `json:"name"`
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Commit        string  `json:"commit,omitempty"`
+}
+
+// Report is the JSON document fivm-bench emits (BENCH_<label>.json):
+// a header describing the run plus one Result per suite benchmark.
+type Report struct {
+	Schema     int      `json:"schema"`
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"bench_time,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// SchemaVersion identifies the report format; bump it when Result
+// fields change incompatibly.
+const SchemaVersion = 1
+
+// Options configures a Run.
+type Options struct {
+	// Filter selects suite benchmarks by name; nil runs all.
+	Filter *regexp.Regexp
+	// BenchTime is the per-benchmark measurement target, in the syntax
+	// of go test's -benchtime ("1s", "100ms", "10x"). Empty keeps the
+	// testing package's default (1s).
+	BenchTime string
+	// Commit is stamped into the report and every result (typically the
+	// output of `git rev-parse --short HEAD`).
+	Commit string
+	// Progress, when non-nil, receives one line per benchmark as it
+	// completes.
+	Progress io.Writer
+}
+
+var benchtimeOnce sync.Once
+
+// setBenchTime routes a benchtime through the testing package's own
+// flag, which testing.Benchmark honors. Outside `go test` the flag is
+// not registered until testing.Init runs.
+func setBenchTime(d string) error {
+	benchtimeOnce.Do(func() {
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+	})
+	return flag.Set("test.benchtime", d)
+}
+
+// Run executes the given benchmarks via testing.Benchmark and collects
+// a Report. Benchmarks run sequentially in suite order; a nil filter
+// runs everything.
+func Run(suite []Bench, opts Options) (*Report, error) {
+	if opts.BenchTime != "" {
+		if err := setBenchTime(opts.BenchTime); err != nil {
+			return nil, fmt.Errorf("perf: invalid benchtime %q: %w", opts.BenchTime, err)
+		}
+	}
+	rep := &Report{
+		Schema:     SchemaVersion,
+		Commit:     opts.Commit,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  opts.BenchTime,
+	}
+	for _, bench := range suite {
+		if opts.Filter != nil && !opts.Filter.MatchString(bench.Name) {
+			continue
+		}
+		br := testing.Benchmark(bench.Fn)
+		if br.N == 0 {
+			// testing.Benchmark reports a zero result when the benchmark
+			// failed (b.Fatal/b.Skip); surface it instead of recording
+			// zeros that would trip every comparison.
+			return nil, fmt.Errorf("perf: benchmark %s failed (zero result)", bench.Name)
+		}
+		res := Result{
+			Name:          bench.Name,
+			UpdatesPerSec: br.Extra["updates/sec"],
+			NsPerOp:       float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp:   br.AllocsPerOp(),
+			BytesPerOp:    br.AllocedBytesPerOp(),
+			GOMAXPROCS:    rep.GOMAXPROCS,
+			Commit:        opts.Commit,
+		}
+		rep.Results = append(rep.Results, res)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-40s %12.0f ns/op %12.0f updates/sec %10d allocs/op %12d B/op\n",
+				bench.Name, res.NsPerOp, res.UpdatesPerSec, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("perf: no suite benchmark matched the filter")
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a report written by WriteJSON.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %d, this binary reads %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Suite() {
+		if b.Name == "" || b.Fn == nil {
+			t.Fatalf("suite entry %+v is incomplete", b)
+		}
+		if seen[b.Name] {
+			t.Fatalf("duplicate suite benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	// The wrappers in bench_test.go rely on these names existing.
+	for _, name := range []string{"E2FIVM", "E1Figure1Delta", "ServeIngest"} {
+		if !seen[name] {
+			t.Errorf("suite is missing %q", name)
+		}
+	}
+}
+
+// TestRunTinySuite exercises the runner end-to-end on a synthetic
+// benchmark: JSON round-trip included. The real suite is too slow for
+// unit tests; CI runs it through fivm-bench.
+func TestRunTinySuite(t *testing.T) {
+	tiny := []Bench{{Name: "tiny/alloc", Fn: func(b *testing.B) {
+		var sink []byte
+		for i := 0; i < b.N; i++ {
+			sink = make([]byte, 64)
+		}
+		_ = sink
+		b.ReportMetric(12345, "updates/sec")
+	}}}
+	rep, err := Run(tiny, Options{BenchTime: "10x", Commit: "deadbeef"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "tiny/alloc" || r.UpdatesPerSec != 12345 || r.Commit != "deadbeef" {
+		t.Fatalf("unexpected result %+v", r)
+	}
+	if r.AllocsPerOp < 1 {
+		t.Fatalf("allocs/op = %d, want >= 1", r.AllocsPerOp)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0] != r || back.Commit != "deadbeef" {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	tiny := []Bench{
+		{Name: "a/one", Fn: func(b *testing.B) {}},
+		{Name: "b/two", Fn: func(b *testing.B) {}},
+	}
+	rep, err := Run(tiny, Options{BenchTime: "1x", Filter: regexp.MustCompile(`^b/`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "b/two" {
+		t.Fatalf("filter selected %+v", rep.Results)
+	}
+	if _, err := Run(tiny, Options{BenchTime: "1x", Filter: regexp.MustCompile(`nothing`)}); err == nil {
+		t.Fatal("empty filter result should error")
+	}
+}
+
+func report(results ...Result) *Report {
+	return &Report{Schema: SchemaVersion, Results: results}
+}
+
+func TestCompareWithinThresholds(t *testing.T) {
+	base := report(
+		Result{Name: "x", UpdatesPerSec: 100_000, AllocsPerOp: 1000},
+		Result{Name: "y", NsPerOp: 500, AllocsPerOp: 10},
+	)
+	cur := report(
+		Result{Name: "x", UpdatesPerSec: 90_000, AllocsPerOp: 1050}, // -10% rate, +5% allocs
+		Result{Name: "y", NsPerOp: 540, AllocsPerOp: 12},            // +8% ns, +2 allocs under floor
+	)
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if !ok {
+		t.Fatalf("expected pass, findings: %+v", findings)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings, got %+v", findings)
+	}
+}
+
+func TestCompareRateRegression(t *testing.T) {
+	base := report(Result{Name: "x", UpdatesPerSec: 100_000, AllocsPerOp: 1000})
+	cur := report(Result{Name: "x", UpdatesPerSec: 80_000, AllocsPerOp: 1000}) // -20%
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if ok || len(findings) != 1 || !findings[0].Regression {
+		t.Fatalf("expected one regression, got ok=%v findings=%+v", ok, findings)
+	}
+}
+
+func TestCompareNsFallbackRegression(t *testing.T) {
+	// No rate metric on either side: ns/op growth must gate instead.
+	base := report(Result{Name: "x", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(Result{Name: "x", NsPerOp: 1300, AllocsPerOp: 100}) // +30%
+	if _, ok := Compare(base, cur, DefaultThresholds()); ok {
+		t.Fatal("expected ns/op regression")
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := report(Result{Name: "x", UpdatesPerSec: 1000, AllocsPerOp: 1000})
+	cur := report(Result{Name: "x", UpdatesPerSec: 1000, AllocsPerOp: 1200}) // +20%
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if ok || len(findings) != 1 {
+		t.Fatalf("expected alloc regression, got ok=%v findings=%+v", ok, findings)
+	}
+	// The absolute floor forgives small counts: 10 -> 20 is +100% but
+	// only +10 allocs.
+	base = report(Result{Name: "x", UpdatesPerSec: 1000, AllocsPerOp: 10})
+	cur = report(Result{Name: "x", UpdatesPerSec: 1000, AllocsPerOp: 20})
+	if _, ok := Compare(base, cur, DefaultThresholds()); !ok {
+		t.Fatal("alloc floor should forgive +10 allocs on a tiny benchmark")
+	}
+}
+
+func TestCompareEnvMismatchSkipsRateNotAllocs(t *testing.T) {
+	base := report(Result{Name: "x", UpdatesPerSec: 1_000_000, AllocsPerOp: 1000})
+	base.GOMAXPROCS = 1
+	cur := report(Result{Name: "x", UpdatesPerSec: 100, AllocsPerOp: 1000}) // -99.99% rate
+	cur.GOMAXPROCS = 4
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if !ok {
+		t.Fatalf("rate drop across differing GOMAXPROCS must not fail: %+v", findings)
+	}
+	if len(findings) != 1 || findings[0].Regression {
+		t.Fatalf("expected one environment note, got %+v", findings)
+	}
+	// Allocations remain enforced across environments.
+	cur.Results[0].AllocsPerOp = 2000
+	if _, ok := Compare(base, cur, DefaultThresholds()); ok {
+		t.Fatal("alloc regression must still fail across environments")
+	}
+}
+
+func TestCompareMissingRateMetricNotes(t *testing.T) {
+	base := report(Result{Name: "x", UpdatesPerSec: 1000, NsPerOp: 100, AllocsPerOp: 10})
+	cur := report(Result{Name: "x", NsPerOp: 105, AllocsPerOp: 10}) // rate metric vanished
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if !ok {
+		t.Fatalf("ns/op within budget must pass: %+v", findings)
+	}
+	if len(findings) != 1 || findings[0].Regression {
+		t.Fatalf("expected a missing-metric note, got %+v", findings)
+	}
+	// And the ns/op fallback still gates.
+	cur.Results[0].NsPerOp = 200
+	if _, ok := Compare(base, cur, DefaultThresholds()); ok {
+		t.Fatal("ns/op regression must fail after rate metric vanished")
+	}
+}
+
+func TestCompareMismatchedSets(t *testing.T) {
+	base := report(Result{Name: "gone", UpdatesPerSec: 1}, Result{Name: "kept", UpdatesPerSec: 1})
+	cur := report(Result{Name: "kept", UpdatesPerSec: 1}, Result{Name: "new", UpdatesPerSec: 1})
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if !ok {
+		t.Fatalf("set drift must not fail the gate: %+v", findings)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("expected two notes, got %+v", findings)
+	}
+	for _, f := range findings {
+		if f.Regression {
+			t.Fatalf("note wrongly marked regression: %+v", f)
+		}
+	}
+}

@@ -20,4 +20,31 @@
 // tree is built from (hash Join, group-by Aggregate with lift
 // application) and Partition, the hash split by join key that feeds
 // parallel delta propagation.
+//
+// # Ownership and the allocation-lean hot path
+//
+// The merge hot path is engineered around three rules, documented here
+// because they are the package's load-bearing ownership contract (see
+// also docs/PERF.md):
+//
+//   - STORED payloads are immutable. Merge and MergeAll combine with
+//     the pure ring Add and only ever REPLACE a stored payload, so
+//     payloads may be shared freely with clones, snapshots, and other
+//     relations. Entry structs, by contrast, are owned by their map:
+//     Clone and MergeAll allocate fresh ones.
+//   - Join and Aggregate OWN their output maps while building them and
+//     fold into freshly-created payloads in place via the ring's
+//     optional Scratch/FMA extensions. A payload stored from shared
+//     input (no-lift aggregation) is flagged and copy-on-writes
+//     through one pure Add on its first re-hit. The fused paths are
+//     bit-identical to the pure ones (scratch_test.go).
+//   - Keys encode into reused scratch buffers (Tuple.AppendEncode*);
+//     maps are probed with string(buf), which Go compiles without a
+//     copy, and the key string plus output tuple only materialize when
+//     an entry is actually inserted.
+//
+// Scratch reuse: Reset clears a relation while keeping its allocated
+// capacity (per-engine delta buffers), and PartitionInto refills
+// caller-provided partition slots — both exist so steady-state
+// maintenance re-walks warm memory instead of reallocating it.
 package relation

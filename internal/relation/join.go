@@ -5,107 +5,297 @@ import (
 	"repro/internal/value"
 )
 
+// scratchOf returns the ring's optional in-place accumulation extension
+// (nil when the ring does not implement it). Join and Aggregate use it
+// on their OUTPUT maps only: every payload stored there is exclusively
+// owned (a fresh Mul result or an Own copy), so folding further addends
+// into it in place is unobservable — the fused path produces
+// bit-identical relations to the pure Add path, which the merge-contract
+// tests assert.
+func scratchOf[V any](r ring.Ring[V]) ring.Scratch[V] {
+	sc, _ := r.(ring.Scratch[V])
+	return sc
+}
+
+// fold adds payload p to the entry at key buf when one exists (using
+// the ring's Scratch extension when available) and reports whether the
+// caller must insert a new entry instead. It returns false for
+// absent-and-zero payloads, so key string and tuple materialize only
+// for entries actually stored.
+//
+// The in-place AddInto runs only on entries the map exclusively owns;
+// an entry whose payload still aliases outside state (entry.shared)
+// takes one pure Add, whose fresh result the map then owns — the lazy
+// form of copy-on-write that lets Aggregate store input payloads
+// without a defensive clone.
+func fold[V any](r ring.Ring[V], sc ring.Scratch[V], out *Map[V], buf []byte, p V) (insert bool) {
+	if r.IsZero(p) {
+		// Adding zero is a no-op; returning early also guarantees the
+		// pure-Add branch below runs on two non-zero operands, where
+		// every Scratch ring returns a fresh value (so clearing the
+		// shared flag afterwards is sound).
+		return false
+	}
+	if e, ok := out.data[string(buf)]; ok {
+		var s V
+		if sc != nil && !e.shared {
+			s = sc.AddInto(e.payload, p)
+		} else {
+			s = r.Add(e.payload, p)
+		}
+		if r.IsZero(s) {
+			delete(out.data, string(buf))
+		} else {
+			e.payload = s
+			e.shared = false
+		}
+		return false
+	}
+	return !r.IsZero(p)
+}
+
+// joinOrient is the precomputed geometry of one build/probe orientation
+// of a join: the common-key projections of both sides and, per output
+// position, which side it reads and at which position — so keys and
+// tuples assemble straight from the two source tuples with no
+// intermediate Concat/Project allocations.
+type joinOrient struct {
+	buildCommon []int
+	probeCommon []int
+	fromBuild   []bool
+	srcPos      []int
+}
+
+func orientJoin(probe, build, out value.Schema) joinOrient {
+	common := probe.Intersect(build)
+	buildExtra := build.Minus(probe)
+	buildExtraIdx := build.MustProject(buildExtra)
+	joined := probe.Union(buildExtra)
+	reorder := joined.MustProject(out)
+	plen := probe.Len()
+	o := joinOrient{
+		buildCommon: build.MustProject(common),
+		probeCommon: probe.MustProject(common),
+		fromBuild:   make([]bool, len(reorder)),
+		srcPos:      make([]int, len(reorder)),
+	}
+	for i, j := range reorder {
+		if j < plen {
+			o.srcPos[i] = j
+		} else {
+			o.fromBuild[i] = true
+			o.srcPos[i] = buildExtraIdx[j-plen]
+		}
+	}
+	return o
+}
+
+// JoinPlan is the reusable schema geometry of a natural join: which
+// attributes are common, where output values come from, for both
+// build-side orientations (the smaller side is indexed at run time).
+// Deriving it per call costs a dozen allocations — noticeable on
+// single-tuple deltas — so the view tree plans each node's joins once
+// at build time and replays them with JoinWith.
+type JoinPlan struct {
+	out value.Schema
+	fwd joinOrient // build = right side, probe = left
+	rev joinOrient // build = left side, probe = right
+}
+
+// Out returns the join's output schema: left's schema followed by
+// right's attributes not in left.
+func (p *JoinPlan) Out() value.Schema { return p.out }
+
+// PlanJoin precomputes the join geometry for relations over the two
+// schemas.
+func PlanJoin(left, right value.Schema) *JoinPlan {
+	out := left.Union(right)
+	return &JoinPlan{
+		out: out,
+		fwd: orientJoin(left, right, out),
+		rev: orientJoin(right, left, out),
+	}
+}
+
 // Join computes the natural join of left and right under ring r: tuples
 // agreeing on the common attributes combine, payloads multiply with the
 // ring product (left payload first, preserving any non-commutative key
 // orientation). The output schema is left's schema followed by right's
-// attributes not in left.
+// attributes not in left. Callers that join the same schemas repeatedly
+// should plan once with PlanJoin and use JoinWith.
+func Join[V any](r ring.Ring[V], left, right *Map[V]) *Map[V] {
+	return JoinWith(PlanJoin(left.schema, right.schema), r, left, right)
+}
+
+// JoinWith is Join with a precomputed plan (which must have been built
+// from exactly left's and right's schemas).
 //
 // The implementation is a classic hash join: it indexes the smaller side
-// on the common attributes and probes with the larger.
-func Join[V any](r ring.Ring[V], left, right *Map[V]) *Map[V] {
-	common := left.schema.Intersect(right.schema)
-	outSchema := left.schema.Union(right.schema)
-	out := New[V](outSchema)
+// on the common attributes and probes with the larger. A join with no
+// common attributes degenerates to the Cartesian product through the
+// same machinery (a single empty-key index bucket). Probe keys, output
+// keys, and output tuples are built in reused scratch buffers and only
+// materialized on first insertion, so re-grouped output tuples cost no
+// allocations beyond the ring product.
+func JoinWith[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V]) *Map[V] {
+	out := New[V](plan.out)
 	if left.Len() == 0 || right.Len() == 0 {
 		return out
 	}
 
-	// Cartesian product when there are no common attributes.
-	if common.Len() == 0 {
-		rightExtra := right.schema.Minus(left.schema)
-		rightIdx := right.schema.MustProject(rightExtra)
-		for _, le := range left.data {
-			for _, re := range right.data {
-				t := le.tuple.Concat(re.tuple.Project(rightIdx))
-				out.Merge(r, t, r.Mul(le.payload, re.payload))
-			}
-		}
-		return out
-	}
-
 	build, probe := right, left
+	o := &plan.fwd
 	swapped := false
 	if left.Len() < right.Len() {
 		build, probe = left, right
+		o = &plan.rev
 		swapped = true
 	}
+	fromBuild, srcPos := o.fromBuild, o.srcPos
 
-	buildCommon := build.schema.MustProject(common)
-	probeCommon := probe.schema.MustProject(common)
-	// Attributes the build side contributes beyond the probe side.
-	buildExtra := build.schema.Minus(probe.schema)
-	buildExtraIdx := build.schema.MustProject(buildExtra)
-
-	index := make(map[string][]entry[V], build.Len())
+	index := make(map[string][]*entry[V], build.Len())
+	var kbuf []byte
 	for _, e := range build.data {
-		k := e.tuple.EncodeProject(buildCommon)
-		index[k] = append(index[k], e)
+		kbuf = e.tuple.AppendEncodeProject(kbuf[:0], o.buildCommon)
+		index[string(kbuf)] = append(index[string(kbuf)], e)
 	}
 
-	// Positions to reorder (probe ++ buildExtra) into the output schema.
-	joined := probe.schema.Union(buildExtra)
-	reorder := joined.MustProject(outSchema)
-
+	sc := scratchOf(r)
+	fma, _ := r.(ring.FMA[V])
+	var obuf []byte
 	for _, pe := range probe.data {
-		k := pe.tuple.EncodeProject(probeCommon)
-		for _, be := range index[k] {
-			t := pe.tuple.Concat(be.tuple.Project(buildExtraIdx)).Project(reorder)
-			var p V
+		kbuf = pe.tuple.AppendEncodeProject(kbuf[:0], o.probeCommon)
+		matches := index[string(kbuf)]
+		if len(matches) == 0 {
+			continue
+		}
+		for _, be := range matches {
+			// Left payload first, preserving any non-commutative key
+			// orientation (the build side is left when swapped).
+			a, b := pe.payload, be.payload
 			if swapped {
-				// build side is left: keep left-first product order.
-				p = r.Mul(be.payload, pe.payload)
-			} else {
-				p = r.Mul(pe.payload, be.payload)
+				a, b = be.payload, pe.payload
 			}
-			out.Merge(r, t, p)
+			obuf = obuf[:0]
+			for i, fb := range fromBuild {
+				if fb {
+					obuf = be.tuple[srcPos[i]].AppendEncode(obuf)
+				} else {
+					obuf = pe.tuple[srcPos[i]].AppendEncode(obuf)
+				}
+			}
+			if e, ok := out.data[string(obuf)]; ok {
+				// Duplicate output tuple: fold a×b into the owned
+				// accumulator without materializing the product when the
+				// ring supports it.
+				var s V
+				if fma != nil && !e.shared {
+					s = fma.MulAddInto(e.payload, a, b)
+				} else {
+					p := r.Mul(a, b)
+					if r.IsZero(p) {
+						continue
+					}
+					if sc != nil && !e.shared {
+						s = sc.AddInto(e.payload, p)
+					} else {
+						s = r.Add(e.payload, p)
+					}
+				}
+				if r.IsZero(s) {
+					delete(out.data, string(obuf))
+				} else {
+					e.payload = s
+					e.shared = false
+				}
+				continue
+			}
+			p := r.Mul(a, b)
+			if r.IsZero(p) {
+				continue
+			}
+			// First hit for this output tuple: materialize it (the Mul
+			// result p is fresh, so the entry owns it already).
+			t := make(value.Tuple, len(fromBuild))
+			for i, fb := range fromBuild {
+				if fb {
+					t[i] = be.tuple[srcPos[i]]
+				} else {
+					t[i] = pe.tuple[srcPos[i]]
+				}
+			}
+			out.data[string(obuf)] = &entry[V]{tuple: t, payload: p}
 		}
 	}
 	return out
+}
+
+// AggPlan is the reusable geometry of a group-by aggregation: the
+// positions projected into the group key and the position of the lifted
+// attribute (-1 when no lift applies). Like JoinPlan it exists so
+// repeated aggregations over fixed schemas (every view-tree node) pay
+// for schema derivation once.
+type AggPlan struct {
+	out     value.Schema
+	proj    []int
+	liftIdx int
+}
+
+// Out returns the aggregation's output (group-by) schema.
+func (p *AggPlan) Out() value.Schema { return p.out }
+
+// PlanAggregate precomputes the aggregation geometry from in onto
+// outSchema (which must be a subset of in). liftAttr names the lifted
+// attribute, "" for none; a named attribute must be in the schema.
+func PlanAggregate(in, outSchema value.Schema, liftAttr string) *AggPlan {
+	p := &AggPlan{out: outSchema, proj: in.MustProject(outSchema), liftIdx: -1}
+	if liftAttr != "" {
+		p.liftIdx = in.Index(liftAttr)
+		if p.liftIdx < 0 {
+			panic("relation: lift attribute " + liftAttr + " not in schema " + in.String())
+		}
+	}
+	return p
 }
 
 // Aggregate groups the relation by the attributes of outSchema (which
 // must be a subset of m's schema) and sums payloads with the ring
 // addition. If lift is non-nil, each tuple's payload is first multiplied
 // by lift applied to the value of liftAttr (payload × lift, in that
-// order).
+// order). Callers aggregating over fixed schemas repeatedly should plan
+// once with PlanAggregate and use AggregateWith.
 func Aggregate[V any](r ring.Ring[V], m *Map[V], outSchema value.Schema, liftAttr string, lift ring.Lift[V]) *Map[V] {
-	proj := m.schema.MustProject(outSchema)
-	liftIdx := -1
-	if lift != nil {
-		liftIdx = m.schema.Index(liftAttr)
-		if liftIdx < 0 {
-			panic("relation: lift attribute " + liftAttr + " not in schema " + m.schema.String())
-		}
+	if lift == nil {
+		liftAttr = ""
 	}
-	out := New[V](outSchema)
+	return AggregateWith(PlanAggregate(m.schema, outSchema, liftAttr), r, m, lift)
+}
+
+// AggregateWith is Aggregate with a precomputed plan (which must have
+// been built from exactly m's schema; lift must be non-nil iff the plan
+// named a lift attribute).
+func AggregateWith[V any](plan *AggPlan, r ring.Ring[V], m *Map[V], lift ring.Lift[V]) *Map[V] {
+	out := New[V](plan.out)
+	sc := scratchOf(r)
+	proj := plan.proj
+	var kbuf []byte
 	for _, e := range m.data {
 		p := e.payload
-		if liftIdx >= 0 {
-			p = r.Mul(p, lift(e.tuple[liftIdx]))
+		owned := false
+		if plan.liftIdx >= 0 {
+			// The product is a fresh value the output exclusively owns.
+			p = r.Mul(p, lift(e.tuple[plan.liftIdx]))
+			owned = true
 		}
-		// Hot path: encode the projected key directly and materialize
-		// the group tuple only when the group is first seen.
-		k := e.tuple.EncodeProject(proj)
-		if ex, ok := out.data[k]; ok {
-			s := r.Add(ex.payload, p)
-			if r.IsZero(s) {
-				delete(out.data, k)
-			} else {
-				out.data[k] = entry[V]{tuple: ex.tuple, payload: s}
-			}
-		} else if !r.IsZero(p) {
-			out.data[k] = entry[V]{tuple: e.tuple.Project(proj), payload: p}
+		// Hot path: encode the projected key into the reused scratch
+		// buffer; the group tuple (and the key string) materialize only
+		// when the group is first seen.
+		kbuf = e.tuple.AppendEncodeProject(kbuf[:0], proj)
+		if fold(r, sc, out, kbuf, p) {
+			// A payload read straight from the input (no lift) stays
+			// shared: fold copy-on-writes it via one pure Add if the
+			// group is ever hit again.
+			out.data[string(kbuf)] = &entry[V]{tuple: e.tuple.Project(proj), payload: p, shared: !owned}
 		}
 	}
 	return out

@@ -2,17 +2,17 @@ package relation
 
 import "repro/internal/value"
 
-// fnv1a hashes s with the 64-bit FNV-1a function. Inlined rather than
+// fnv1a hashes b with the 64-bit FNV-1a function. Inlined rather than
 // importing hash/fnv to keep the per-tuple partitioning cost at zero
 // allocations.
-func fnv1a(s string) uint64 {
+func fnv1a[T string | []byte](b T) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= prime64
 	}
 	return h
@@ -25,30 +25,45 @@ func fnv1a(s string) uint64 {
 // grouped by (a superset of) the key. An empty keyIdx hashes the full
 // tuple, which still yields a valid — merely key-oblivious — split.
 //
-// The partitions share payloads with m (no cloning; payloads are
-// immutable under ring operations) and their union is exactly m. Slots
-// for which no tuple hashes may be empty relations; callers typically
-// skip those.
+// The partitions share entries with m (no cloning; payloads are
+// immutable under ring operations and partitions are read-only). Their
+// union is exactly m. Slots for which no tuple hashes may be empty
+// relations; callers typically skip those.
 func (m *Map[V]) Partition(n int, keyIdx []int) []*Map[V] {
 	if n < 1 {
 		n = 1
 	}
-	out := make([]*Map[V], n)
-	for i := range out {
-		out[i] = New[V](m.schema)
+	return m.PartitionInto(make([]*Map[V], n), keyIdx)
+}
+
+// PartitionInto is Partition writing into caller-provided slots, the
+// scratch-reuse form: nil slots (or slots over a different schema) are
+// freshly allocated, existing ones are Reset and refilled, so a
+// maintenance loop partitions every delta into the same recycled maps.
+// The caller must be done with the previous round's contents.
+func (m *Map[V]) PartitionInto(out []*Map[V], keyIdx []int) []*Map[V] {
+	for i, p := range out {
+		if p == nil || !p.schema.Equal(m.schema) {
+			out[i] = New[V](m.schema)
+		} else {
+			p.Reset()
+		}
 	}
+	n := len(out)
 	if n == 1 {
 		for k, e := range m.data {
 			out[0].data[k] = e
 		}
 		return out
 	}
+	var kbuf []byte
 	for k, e := range m.data {
 		var h uint64
 		if len(keyIdx) == 0 {
 			h = fnv1a(k)
 		} else {
-			h = fnv1a(e.tuple.EncodeProject(keyIdx))
+			kbuf = e.tuple.AppendEncodeProject(kbuf[:0], keyIdx)
+			h = fnv1a(kbuf)
 		}
 		p := out[h%uint64(n)]
 		p.data[k] = e

@@ -12,19 +12,34 @@ import (
 // Map is a relation over a fixed key schema with payloads in V. Tuples
 // with payload equal to the ring zero are not stored. Map is not safe
 // for concurrent mutation.
+//
+// Entries are stored behind pointers so the merge hot path can update a
+// payload in place after a zero-allocation lookup (encoding the tuple
+// into a reused scratch buffer and indexing the map with string(buf),
+// which Go compiles without copying); re-assigning through the map
+// would re-materialize the key string on every merge. The entry structs
+// are owned by the map — Clone allocates fresh ones — while payloads
+// and tuples inside them stay shared and immutable (see the package doc
+// for the ownership contract).
 type Map[V any] struct {
 	schema value.Schema
-	data   map[string]entry[V]
+	data   map[string]*entry[V]
 }
 
 type entry[V any] struct {
 	tuple   value.Tuple
 	payload V
+	// shared marks a payload that aliases a value outside this map (an
+	// input relation, a cached ring constant): the fused accumulation
+	// paths of Join/Aggregate must not fold into it in place and fall
+	// back to one pure Add, whose fresh result clears the flag. Entries
+	// created outside those paths conservatively set it.
+	shared bool
 }
 
 // New returns an empty relation over the given key schema.
 func New[V any](schema value.Schema) *Map[V] {
-	return &Map[V]{schema: schema, data: make(map[string]entry[V])}
+	return &Map[V]{schema: schema, data: make(map[string]*entry[V])}
 }
 
 // Schema returns the key schema.
@@ -33,10 +48,22 @@ func (m *Map[V]) Schema() value.Schema { return m.schema }
 // Len returns the number of tuples with non-zero payload.
 func (m *Map[V]) Len() int { return len(m.data) }
 
+// Reset removes every tuple while keeping the schema and the map's
+// allocated capacity, so scratch relations (per-engine delta buffers,
+// partition slots) can be refilled without reallocating. Entries handed
+// out earlier (e.g. payloads merged into another relation) are
+// unaffected: Reset only clears the container.
+func (m *Map[V]) Reset() {
+	clear(m.data)
+}
+
 // Get returns the payload of tuple t and whether it is present.
 func (m *Map[V]) Get(t value.Tuple) (V, bool) {
-	e, ok := m.data[t.Encode()]
-	return e.payload, ok
+	if e, ok := m.data[t.Encode()]; ok {
+		return e.payload, true
+	}
+	var zero V
+	return zero, false
 }
 
 // GetOr returns the payload of t, or def when absent.
@@ -53,32 +80,44 @@ func (m *Map[V]) Set(t value.Tuple, p V) {
 	if len(t) != m.schema.Len() {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %v", len(t), m.schema))
 	}
-	m.data[t.Encode()] = entry[V]{tuple: t, payload: p}
+	k := t.Encode()
+	if e, ok := m.data[k]; ok {
+		e.payload = p
+		e.shared = true
+		return
+	}
+	m.data[k] = &entry[V]{tuple: t, payload: p, shared: true}
 }
 
 // Merge adds payload p to tuple t's payload under ring r, removing the
-// entry if the result is the ring zero.
+// entry if the result is the ring zero. The addition is the pure ring
+// Add — stored payloads are never mutated in place, so they may be
+// shared with relation clones and published snapshots.
 func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
 	if len(t) != m.schema.Len() {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %v", len(t), m.schema))
 	}
-	k := t.Encode()
-	if e, ok := m.data[k]; ok {
+	var arr [64]byte
+	buf := t.AppendEncode(arr[:0])
+	if e, ok := m.data[string(buf)]; ok {
 		s := r.Add(e.payload, p)
 		if r.IsZero(s) {
-			delete(m.data, k)
+			delete(m.data, string(buf))
 		} else {
-			m.data[k] = entry[V]{tuple: e.tuple, payload: s}
+			e.payload = s
+			e.shared = true
 		}
 		return
 	}
 	if !r.IsZero(p) {
-		m.data[k] = entry[V]{tuple: t, payload: p}
+		m.data[string(buf)] = &entry[V]{tuple: t, payload: p, shared: true}
 	}
 }
 
 // MergeAll merges every tuple of other into m under ring r. The schemas
-// must be equal.
+// must be equal. Like Merge it uses the pure ring Add; other's entries
+// are only read (m allocates its own entry structs on insert, so later
+// in-place updates of m never reach through to other).
 func (m *Map[V]) MergeAll(r ring.Ring[V], other *Map[V]) {
 	if !m.schema.Equal(other.schema) {
 		panic(fmt.Sprintf("relation: MergeAll schema mismatch %v vs %v", m.schema, other.schema))
@@ -89,10 +128,10 @@ func (m *Map[V]) MergeAll(r ring.Ring[V], other *Map[V]) {
 			if r.IsZero(s) {
 				delete(m.data, k)
 			} else {
-				m.data[k] = entry[V]{tuple: ex.tuple, payload: s}
+				ex.payload = s
 			}
 		} else if !r.IsZero(e.payload) {
-			m.data[k] = e
+			m.data[k] = &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
 		}
 	}
 }
@@ -119,12 +158,13 @@ func (m *Map[V]) EachSorted(fn func(t value.Tuple, p V)) {
 	}
 }
 
-// Clone returns a shallow copy (payloads are shared, which is safe under
-// the immutable-payload convention).
+// Clone returns a copy with fresh entry structs; payloads are shared,
+// which is safe under the immutable-payload convention (stored payloads
+// are only ever replaced, never mutated).
 func (m *Map[V]) Clone() *Map[V] {
-	out := &Map[V]{schema: m.schema, data: make(map[string]entry[V], len(m.data))}
+	out := &Map[V]{schema: m.schema, data: make(map[string]*entry[V], len(m.data))}
 	for k, e := range m.data {
-		out.data[k] = e
+		out.data[k] = &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
 	}
 	return out
 }
@@ -133,9 +173,9 @@ func (m *Map[V]) Clone() *Map[V] {
 // inverse; applied to an insert batch it yields the matching delete
 // batch.
 func (m *Map[V]) Negate(r ring.Ring[V]) *Map[V] {
-	out := &Map[V]{schema: m.schema, data: make(map[string]entry[V], len(m.data))}
+	out := &Map[V]{schema: m.schema, data: make(map[string]*entry[V], len(m.data))}
 	for k, e := range m.data {
-		out.data[k] = entry[V]{tuple: e.tuple, payload: r.Neg(e.payload)}
+		out.data[k] = &entry[V]{tuple: e.tuple, payload: r.Neg(e.payload), shared: true}
 	}
 	return out
 }

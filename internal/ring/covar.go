@@ -24,6 +24,16 @@ type Covar struct {
 // triLen returns the packed-triangle length for degree m.
 func triLen(m int) int { return m * (m + 1) / 2 }
 
+// newCovar returns a zero-valued degree-m Covar whose S and Q share one
+// backing array: Covar construction is the maintenance hot path's
+// dominant allocator, and the shared backing turns three allocations
+// (struct, S, Q) into two. S is capacity-capped so an append could
+// never silently spill into Q.
+func newCovar(m int) *Covar {
+	buf := make([]float64, m+triLen(m))
+	return &Covar{m: m, S: buf[:m:m], Q: buf[m:]}
+}
+
 // triIndex returns the packed index of entry (i, j); callers must pass
 // i <= j.
 func triIndex(m, i, j int) int { return i*m - i*(i-1)/2 + (j - i) }
@@ -39,7 +49,8 @@ func (c *Covar) Clone() *Covar {
 	if c == nil {
 		return nil
 	}
-	out := &Covar{m: c.m, C: c.C, S: make([]float64, len(c.S)), Q: make([]float64, len(c.Q))}
+	out := newCovar(c.m)
+	out.C = c.C
 	copy(out.S, c.S)
 	copy(out.Q, c.Q)
 	return out
@@ -146,7 +157,9 @@ func (r CovarRing) Zero() *Covar { return nil }
 
 // One returns (1, 0, 0), the multiplicative identity.
 func (r CovarRing) One() *Covar {
-	return &Covar{m: r.m, C: 1, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+	out := newCovar(r.m)
+	out.C = 1
+	return out
 }
 
 // Add returns the element-wise sum. Either argument may be nil.
@@ -157,7 +170,8 @@ func (r CovarRing) Add(a, b *Covar) *Covar {
 	if b == nil {
 		return a
 	}
-	out := &Covar{m: r.m, C: a.C + b.C, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+	out := newCovar(r.m)
+	out.C = a.C + b.C
 	for i := range out.S {
 		out.S[i] = a.S[i] + b.S[i]
 	}
@@ -177,7 +191,8 @@ func (r CovarRing) Mul(a, b *Covar) *Covar {
 		return nil
 	}
 	m := r.m
-	out := &Covar{m: m, C: a.C * b.C, S: make([]float64, m), Q: make([]float64, triLen(m))}
+	out := newCovar(m)
+	out.C = a.C * b.C
 	for i := 0; i < m; i++ {
 		out.S[i] = b.C*a.S[i] + a.C*b.S[i]
 	}
@@ -196,7 +211,8 @@ func (r CovarRing) Neg(a *Covar) *Covar {
 	if a == nil {
 		return nil
 	}
-	out := &Covar{m: r.m, C: -a.C, S: make([]float64, r.m), Q: make([]float64, triLen(r.m))}
+	out := newCovar(r.m)
+	out.C = -a.C
 	for i := range out.S {
 		out.S[i] = -a.S[i]
 	}

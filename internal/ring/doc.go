@@ -40,4 +40,22 @@
 //
 // merge_test.go pins the first two invariants property-style for every
 // ring.
+//
+// # Scratch extensions and ownership
+//
+// Immutability makes the pure operations allocate: for pointer-shaped
+// payloads every Add builds a fresh value, which dominated the
+// maintenance hot path's allocation profile. The optional Scratch and
+// FMA interfaces are the sanctioned escape hatch: AddInto folds a value
+// into an accumulator in place, MulAddInto fuses `acc += a × b`. The
+// ownership rule is strict — the accumulator must be EXCLUSIVELY OWNED
+// by the caller (created by Own, Mul, Neg, One, a lift, or a previous
+// in-place call; never read from a relation or view), the other
+// operands are only read, and the result must be bit-identical to the
+// pure composition. Rings implementing Scratch additionally guarantee
+// that Add returns a fresh value when both operands are non-zero, so
+// an accumulation loop that has done one pure Add owns the result.
+// relation.Join/Aggregate are the only callers; scratch_test.go pins
+// the equivalence contract for every implementing ring. See
+// docs/PERF.md for the full ownership story.
 package ring

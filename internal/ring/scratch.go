@@ -1,0 +1,202 @@
+package ring
+
+// Scratch is an optional Ring extension for rings whose values are
+// pointer-shaped (maps, structs with slices) and therefore allocate on
+// every pure Add. It lets accumulation loops that EXCLUSIVELY OWN their
+// accumulator fold values in place instead of allocating a fresh result
+// per addition.
+//
+// Ownership contract (see also the package doc):
+//
+//   - AddInto(acc, v) returns acc + v and MAY mutate and reuse acc.
+//     The caller must exclusively own acc: acc was produced by Own, by
+//     Mul/Neg/One/a lift (which always return fresh values), or by a
+//     previous AddInto in the same loop — never a value read from a
+//     relation, a view, or any other shared structure. v is only read.
+//   - Own(v) returns a value semantically equal to v that the caller
+//     exclusively owns (a deep copy for pointer-shaped values). It is
+//     how an accumulation loop seeds its accumulator from a shared
+//     value it is not allowed to mutate.
+//
+// The result of AddInto must be indistinguishable from Add(acc, v) to
+// any reader; the ring's merge-contract tests assert this equivalence.
+// Rings with value-type payloads (Ints, Floats) gain nothing from the
+// extension and do not implement it; callers type-assert and fall back
+// to the pure Add path.
+type Scratch[V any] interface {
+	// AddInto returns acc + v, mutating acc when possible. acc must be
+	// exclusively owned by the caller; v is never modified.
+	AddInto(acc, v V) V
+	// Own returns an exclusively-owned value equal to v.
+	Own(v V) V
+}
+
+// FMA is a second optional extension for fused multiply-accumulate:
+// joins fold `acc += a × b` straight into their accumulator without
+// materializing the product, the single hottest allocation a hash join
+// performs on duplicate output tuples. The ownership rules are
+// Scratch's: acc is exclusively owned by the caller (or the ring zero),
+// a and b are only read, and the result must be indistinguishable from
+// Add(acc, Mul(a, b)). Callers fall back to Mul + Scratch.AddInto (or
+// the fully pure path) when a ring does not implement FMA.
+type FMA[V any] interface {
+	// MulAddInto returns acc + a×b, mutating acc when possible.
+	MulAddInto(acc, a, b V) V
+}
+
+// MulAddInto implements FMA for the degree-m matrix ring: the product
+// formula accumulated element-wise into acc's backing array.
+func (r CovarRing) MulAddInto(acc, a, b *Covar) *Covar {
+	if a == nil || b == nil {
+		return acc
+	}
+	if acc == nil {
+		return r.Mul(a, b)
+	}
+	m := r.m
+	acc.C += a.C * b.C
+	for i := 0; i < m; i++ {
+		acc.S[i] += b.C*a.S[i] + a.C*b.S[i]
+	}
+	k := 0
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			acc.Q[k] += b.C*a.Q[k] + a.C*b.Q[k] + a.S[i]*b.S[j] + b.S[i]*a.S[j]
+			k++
+		}
+	}
+	return acc
+}
+
+// MulAddInto implements FMA for the relational ring via the package's
+// mutable join-accumulate helper.
+func (Relational) MulAddInto(acc, a, b RelVal) RelVal {
+	if len(a) == 0 || len(b) == 0 {
+		return acc
+	}
+	return relMulInto(acc, a, b, 1)
+}
+
+// MulAddInto implements FMA for the generalized matrix ring: the
+// RelCovar product formula accumulated into acc's relational entries.
+func (r RelCovarRing) MulAddInto(acc, a, b *RelCovar) *RelCovar {
+	if a == nil || b == nil {
+		return acc
+	}
+	if acc == nil {
+		return r.Mul(a, b)
+	}
+	m := r.m
+	ca, cb := a.C.Scalar(), b.C.Scalar()
+	if p := ca * cb; p != 0 {
+		if acc.C == nil {
+			acc.C = RelVal{"": p}
+		} else if s := acc.C[""] + p; s == 0 {
+			delete(acc.C, "")
+		} else {
+			acc.C[""] = s
+		}
+	}
+	for i := 0; i < m; i++ {
+		s := relAddInto(acc.S[i], a.S[i], cb)
+		acc.S[i] = relAddInto(s, b.S[i], ca)
+	}
+	k := 0
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			q := relAddInto(acc.Q[k], a.Q[k], cb)
+			q = relAddInto(q, b.Q[k], ca)
+			q = relMulInto(q, a.S[i], b.S[j], 1)
+			q = relMulInto(q, b.S[i], a.S[j], 1)
+			acc.Q[k] = q
+			k++
+		}
+	}
+	return acc
+}
+
+// AddInto implements Scratch for the degree-m matrix ring: element-wise
+// in-place addition into acc's backing array.
+func (r CovarRing) AddInto(acc, v *Covar) *Covar {
+	if v == nil {
+		return acc
+	}
+	if acc == nil {
+		return v.Clone()
+	}
+	acc.C += v.C
+	for i := range acc.S {
+		acc.S[i] += v.S[i]
+	}
+	for i := range acc.Q {
+		acc.Q[i] += v.Q[i]
+	}
+	return acc
+}
+
+// Own implements Scratch: a deep copy of v.
+func (r CovarRing) Own(v *Covar) *Covar { return v.Clone() }
+
+// AddInto implements Scratch for the relational ring: coefficients of v
+// are summed into acc's map. Entries that cancel are dropped, keeping
+// the no-explicit-zero invariant.
+func (Relational) AddInto(acc, v RelVal) RelVal {
+	if len(v) == 0 {
+		return acc
+	}
+	if acc == nil {
+		return v.Clone()
+	}
+	return relAddInto(acc, v, 1)
+}
+
+// Own implements Scratch: a deep copy of v.
+func (Relational) Own(v RelVal) RelVal { return v.Clone() }
+
+// AddInto implements Scratch for the generalized matrix ring:
+// element-wise relational accumulation into acc's entry maps.
+func (r RelCovarRing) AddInto(acc, v *RelCovar) *RelCovar {
+	if v == nil {
+		return acc
+	}
+	if acc == nil {
+		return v.Clone()
+	}
+	acc.C = relAddInto(acc.C, v.C, 1)
+	for i := range acc.S {
+		acc.S[i] = relAddInto(acc.S[i], v.S[i], 1)
+	}
+	for i := range acc.Q {
+		acc.Q[i] = relAddInto(acc.Q[i], v.Q[i], 1)
+	}
+	return acc
+}
+
+// Own implements Scratch: a deep copy of v.
+func (r RelCovarRing) Own(v *RelCovar) *RelCovar { return v.Clone() }
+
+// AddInto implements Scratch for the ranged matrix ring. Like Add it
+// requires identical ranges (a range mismatch is an index-assignment
+// bug and panics there).
+func (r RangedCovarRing) AddInto(acc, v *RangedCovar) *RangedCovar {
+	if v == nil {
+		return acc
+	}
+	if acc == nil {
+		return v.Clone()
+	}
+	if acc.Start != v.Start || acc.N != v.N {
+		return r.Add(acc, v) // panics with Add's range-mismatch message
+	}
+	acc.C += v.C
+	for i := range acc.S {
+		acc.S[i] += v.S[i]
+	}
+	for i := range acc.Q {
+		acc.Q[i] += v.Q[i]
+	}
+	return acc
+}
+
+// Own implements Scratch: a deep copy of v.
+func (r RangedCovarRing) Own(v *RangedCovar) *RangedCovar { return v.Clone() }

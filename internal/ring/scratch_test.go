@@ -1,0 +1,149 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// The fused accumulation paths of relation.Join/Aggregate rely on the
+// Scratch and FMA extensions being indistinguishable from the pure ring
+// operations: AddInto(own(a), b) must equal Add(a, b), MulAddInto(
+// own(c), a, b) must equal Add(c, Mul(a, b)), and the read-only
+// operands must come out bit-identical — that is what keeps maintained
+// views bit-identical whichever path ran. These property tests pin the
+// contract for every ring implementing the extensions.
+
+func checkScratchContract[V any](t *testing.T, name string, r Ring[V], gen func(rnd *rand.Rand) V, clone func(V) V, eq func(a, b V) bool) {
+	t.Helper()
+	sc, ok := r.(Scratch[V])
+	if !ok {
+		t.Fatalf("%s: ring does not implement Scratch", name)
+	}
+	fma, hasFMA := r.(FMA[V])
+	rnd := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		a, b, c := gen(rnd), gen(rnd), gen(rnd)
+		ac, bc, cc := clone(a), clone(b), clone(c)
+
+		// Own yields an equal value whose mutation cannot reach the
+		// original.
+		own := sc.Own(a)
+		if !eq(own, a) {
+			t.Fatalf("%s: Own(a) != a", name)
+		}
+		got := sc.AddInto(own, b)
+		want := r.Add(ac, bc)
+		if !eq(got, want) {
+			t.Fatalf("%s: AddInto(Own(a), b) = %v, want Add(a, b) = %v", name, got, want)
+		}
+		if !eq(a, ac) || !eq(b, bc) {
+			t.Fatalf("%s: AddInto mutated a read-only operand", name)
+		}
+
+		// Accumulating from the ring zero owns the addend's value.
+		z := sc.AddInto(r.Zero(), b)
+		if !eq(z, bc) {
+			t.Fatalf("%s: AddInto(0, b) != b", name)
+		}
+		_ = sc.AddInto(z, b) // must not disturb b
+		if !eq(b, bc) {
+			t.Fatalf("%s: mutating AddInto(0, b) reached b", name)
+		}
+
+		if hasFMA {
+			got := fma.MulAddInto(sc.Own(c), a, b)
+			want := r.Add(cc, r.Mul(a, b))
+			if !eq(got, want) {
+				t.Fatalf("%s: MulAddInto(Own(c), a, b) = %v, want c + a*b = %v", name, got, want)
+			}
+			if !eq(a, ac) || !eq(b, bc) || !eq(c, cc) {
+				t.Fatalf("%s: MulAddInto mutated a read-only operand", name)
+			}
+			z := fma.MulAddInto(r.Zero(), a, b)
+			if !eq(z, r.Mul(ac, bc)) {
+				t.Fatalf("%s: MulAddInto(0, a, b) != a*b", name)
+			}
+		}
+	}
+}
+
+func TestScratchContractCovar(t *testing.T) {
+	r := NewCovarRing(3)
+	gen := func(rnd *rand.Rand) *Covar {
+		if rnd.Intn(5) == 0 {
+			return nil
+		}
+		c := r.One()
+		c.C = float64(rnd.Intn(7) - 3)
+		for i := range c.S {
+			c.S[i] = float64(rnd.Intn(7) - 3)
+		}
+		for i := range c.Q {
+			c.Q[i] = float64(rnd.Intn(7) - 3)
+		}
+		return c
+	}
+	checkScratchContract[*Covar](t, "Covar", r, gen, (*Covar).Clone, (*Covar).Equal)
+}
+
+func TestScratchContractRelational(t *testing.T) {
+	gen := func(rnd *rand.Rand) RelVal {
+		n := rnd.Intn(4)
+		out := RelVal{}
+		for i := 0; i < n; i++ {
+			k := value.Tuple{value.Int(int64(rnd.Intn(4)))}.Encode()
+			c := float64(rnd.Intn(7) - 3)
+			if c != 0 {
+				out[k] = c
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	checkScratchContract[RelVal](t, "Relational", Relational{}, gen, RelVal.Clone, RelVal.Equal)
+}
+
+func TestScratchContractRelCovar(t *testing.T) {
+	r := NewRelCovarRing(2)
+	lifts := []Lift[*RelCovar]{r.LiftContinuous(0), r.LiftCategorical(1)}
+	gen := func(rnd *rand.Rand) *RelCovar {
+		if rnd.Intn(5) == 0 {
+			return nil
+		}
+		v := lifts[rnd.Intn(len(lifts))](value.Int(int64(rnd.Intn(4))))
+		if rnd.Intn(2) == 0 {
+			v = r.Mul(v, lifts[rnd.Intn(len(lifts))](value.Int(int64(rnd.Intn(4)))))
+		}
+		if rnd.Intn(3) == 0 {
+			v = r.Neg(v)
+		}
+		return v
+	}
+	checkScratchContract[*RelCovar](t, "RelCovar", r, gen, (*RelCovar).Clone, (*RelCovar).Equal)
+}
+
+func TestScratchContractRangedCovar(t *testing.T) {
+	var r RangedCovarRing
+	// Same-range values only: AddInto inherits Add's same-range
+	// contract (see TestMergeContractRangedCovar). RangedCovarRing does
+	// not implement FMA, so only the Scratch half runs.
+	gen := func(rnd *rand.Rand) *RangedCovar {
+		if rnd.Intn(5) == 0 {
+			return nil
+		}
+		c := &RangedCovar{Start: 1, N: 2, C: float64(rnd.Intn(7) - 3),
+			S: make([]float64, 2), Q: make([]float64, 3)}
+		for i := range c.S {
+			c.S[i] = float64(rnd.Intn(7) - 3)
+		}
+		for i := range c.Q {
+			c.Q[i] = float64(rnd.Intn(7) - 3)
+		}
+		return c
+	}
+	checkScratchContract[*RangedCovar](t, "RangedCovar", r, gen, (*RangedCovar).Clone, (*RangedCovar).Equal)
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/view"
+)
 
 // runBatcher drains one relation's shard channel. Each round it greedily
 // collects whatever is queued (up to MaxBatch raw updates) and prebuilds
@@ -17,23 +21,7 @@ import "sync"
 func (s *Server) runBatcher(sh *shard) {
 	defer s.batchers.Done()
 	for msg := range sh.ch {
-		ups := msg.ups
-		wgs := []*sync.WaitGroup{msg.wg}
-		chClosed := false
-	collect:
-		for len(ups) < s.cfg.MaxBatch {
-			select {
-			case m2, ok := <-sh.ch:
-				if !ok {
-					chClosed = true
-					break collect
-				}
-				ups = append(ups, m2.ups...)
-				wgs = append(wgs, m2.wg)
-			default:
-				break collect
-			}
-		}
+		ups, wgs, chClosed := sh.collect(msg, s.cfg.MaxBatch)
 		delta, err := s.eng.BuildDelta(sh.rel, ups)
 		if err != nil {
 			// Unreachable: the relation was validated at Ingest and the
@@ -48,6 +36,39 @@ func (s *Server) runBatcher(sh *shard) {
 			return
 		}
 	}
+}
+
+// collect greedily gathers whatever is queued behind first (up to max
+// raw updates) into one flush. A single-message round passes the
+// ingester's slice through untouched; as soon as a second message
+// arrives the updates are accumulated into the shard's reusable buffer,
+// so steady-state flushing allocates nothing for the update slice
+// (asserted by TestBatcherCollectSteadyStateAllocs). The waiter list is
+// NOT reused: it escapes into the batch handed to the writer, which
+// releases the waiters after the next publish, possibly while this
+// batcher already collects the next round.
+func (sh *shard) collect(first ingestMsg, max int) (ups []view.Update, wgs []*sync.WaitGroup, chClosed bool) {
+	ups = first.ups
+	wgs = append(wgs, first.wg)
+	buffered := false
+	for len(ups) < max {
+		select {
+		case m2, ok := <-sh.ch:
+			if !ok {
+				return ups, wgs, true
+			}
+			if !buffered {
+				sh.buf = append(sh.buf[:0], ups...)
+				buffered = true
+			}
+			sh.buf = append(sh.buf, m2.ups...)
+			ups = sh.buf
+			wgs = append(wgs, m2.wg)
+		default:
+			return ups, wgs, false
+		}
+	}
+	return ups, wgs, false
 }
 
 // runWriter is the single goroutine allowed to mutate the engine. It

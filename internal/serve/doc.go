@@ -42,4 +42,12 @@
 // the Maintainable interface, which the generic fivm.Engine implements
 // — so one daemon binary hosts count, float-SUM, COVAR, join-result,
 // and full analysis workloads alike.
+//
+// Steady-state ingestion is allocation-lean: each shard's batcher
+// reuses one per-flush update buffer (BuildDelta does not retain its
+// argument and batches carry only the prebuilt delta), so a flush
+// allocates nothing for the update slice — only the waiter list, which
+// escapes to the writer, is fresh per round. batcher_test.go pins this
+// with testing.AllocsPerRun; docs/PERF.md documents the repository-wide
+// scratch-buffer contract.
 package serve

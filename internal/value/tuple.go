@@ -129,32 +129,53 @@ func (t Tuple) EncodedLen() int {
 	return n
 }
 
+// appendValue appends the self-describing encoding of one value to buf.
+func appendValue(buf []byte, v Value) []byte {
+	var tmp [8]byte
+	switch v.kind {
+	case KindNull:
+		buf = append(buf, tagNull)
+	case KindInt:
+		buf = append(buf, tagInt)
+		binary.BigEndian.PutUint64(tmp[:], uint64(v.i))
+		buf = append(buf, tmp[:]...)
+	case KindFloat:
+		buf = append(buf, tagFloat)
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.f))
+		buf = append(buf, tmp[:]...)
+	case KindString:
+		buf = append(buf, tagString)
+		var lv [binary.MaxVarintLen32]byte
+		n := binary.PutUvarint(lv[:], uint64(len(v.s)))
+		buf = append(buf, lv[:n]...)
+		buf = append(buf, v.s...)
+	}
+	return buf
+}
+
+// AppendEncode appends the encoding of the single value v to buf — the
+// per-value form of Tuple.AppendEncode, for callers that assemble a key
+// from values scattered across several tuples (e.g. a join output).
+func (v Value) AppendEncode(buf []byte) []byte {
+	return appendValue(buf, v)
+}
+
+// AppendEncode appends the tuple's encoding to buf and returns the
+// extended buffer. It is the allocation-free core of Encode: hot paths
+// keep one scratch buffer per loop, encode with AppendEncode(buf[:0]),
+// look maps up with string(buf) (which Go compiles without copying),
+// and materialize a real key string only when inserting.
+func (t Tuple) AppendEncode(buf []byte) []byte {
+	for _, v := range t {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
 // Encode serializes the tuple into a compact self-describing key string
 // suitable for Go map indexing.
 func (t Tuple) Encode() string {
-	buf := make([]byte, 0, t.EncodedLen())
-	var tmp [8]byte
-	for _, v := range t {
-		switch v.kind {
-		case KindNull:
-			buf = append(buf, tagNull)
-		case KindInt:
-			buf = append(buf, tagInt)
-			binary.BigEndian.PutUint64(tmp[:], uint64(v.i))
-			buf = append(buf, tmp[:]...)
-		case KindFloat:
-			buf = append(buf, tagFloat)
-			binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.f))
-			buf = append(buf, tmp[:]...)
-		case KindString:
-			buf = append(buf, tagString)
-			var lv [binary.MaxVarintLen32]byte
-			n := binary.PutUvarint(lv[:], uint64(len(v.s)))
-			buf = append(buf, lv[:n]...)
-			buf = append(buf, v.s...)
-		}
-	}
-	return string(buf)
+	return string(t.AppendEncode(make([]byte, 0, t.EncodedLen())))
 }
 
 // DecodeTuple parses a key string produced by Encode (or by concatenating
@@ -205,32 +226,20 @@ func MustDecodeTuple(key string) Tuple {
 	return t
 }
 
+// AppendEncodeProject appends the encoding of t's projection onto the
+// given positions to buf without materializing the projected tuple —
+// the scratch-buffer form of EncodeProject (see AppendEncode for the
+// zero-allocation lookup idiom).
+func (t Tuple) AppendEncodeProject(buf []byte, idx []int) []byte {
+	for _, j := range idx {
+		buf = appendValue(buf, t[j])
+	}
+	return buf
+}
+
 // EncodeProject encodes the projection of t onto the given positions
 // without materializing the projected tuple — the hot path of group-by
 // aggregation. It is equivalent to t.Project(idx).Encode().
 func (t Tuple) EncodeProject(idx []int) string {
-	buf := make([]byte, 0, 16*len(idx))
-	var tmp [8]byte
-	for _, j := range idx {
-		v := t[j]
-		switch v.kind {
-		case KindNull:
-			buf = append(buf, tagNull)
-		case KindInt:
-			buf = append(buf, tagInt)
-			binary.BigEndian.PutUint64(tmp[:], uint64(v.i))
-			buf = append(buf, tmp[:]...)
-		case KindFloat:
-			buf = append(buf, tagFloat)
-			binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.f))
-			buf = append(buf, tmp[:]...)
-		case KindString:
-			buf = append(buf, tagString)
-			var lv [binary.MaxVarintLen32]byte
-			n := binary.PutUvarint(lv[:], uint64(len(v.s)))
-			buf = append(buf, lv[:n]...)
-			buf = append(buf, v.s...)
-		}
-	}
-	return string(buf)
+	return string(t.AppendEncodeProject(make([]byte, 0, 16*len(idx)), idx))
 }

@@ -47,38 +47,59 @@ func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
 		t.applyDeltaParallel(src, delta, path)
 		return nil
 	}
-	p := t.propagate(src, delta, path)
+	p := t.propagate(src, delta, path, t.propSteps[:0])
 	src.data.MergeAll(t.ring, delta)
 	t.stats.DeltaTuples += delta.Len()
 	t.commit(p, path)
+	// Recycle the steps buffer, dropping the references so the merged
+	// delta relations do not outlive the call pinned to the scratch.
+	for i := range p.steps {
+		p.steps[i] = nil
+	}
+	t.propSteps = p.steps[:0]
 	return nil
 }
 
 // ApplyUpdates groups tuple-level updates by relation and applies one
 // delta per relation, in first-appearance order. This is the bulk-update
 // entry point used by the demo scenarios (e.g. bulks of 10K updates).
+//
+// The per-relation delta buffers are owned by the tree and recycled
+// across calls (Reset, not reallocated); the payloads they carry are
+// freshly built each batch, so views retaining them stay valid. This is
+// safe under the tree's existing single-writer contract.
 func (t *Tree[V]) ApplyUpdates(ups []Update) error {
-	order := make([]string, 0, 4)
-	deltas := make(map[string]*relation.Map[V], 4)
+	order := t.updOrder[:0]
 	for _, u := range ups {
-		d, ok := deltas[u.Rel]
+		src, ok := t.sources[u.Rel]
 		if !ok {
-			src, ok := t.sources[u.Rel]
-			if !ok {
-				return fmt.Errorf("view: unknown relation %s", u.Rel)
+			for _, name := range order {
+				t.sources[name].inBatch = false
 			}
-			d = relation.New[V](src.schema)
-			deltas[u.Rel] = d
+			t.updOrder = order[:0]
+			return fmt.Errorf("view: unknown relation %s", u.Rel)
+		}
+		if !src.inBatch {
+			src.inBatch = true
+			if src.delta == nil {
+				src.delta = relation.New[V](src.schema)
+			} else {
+				src.delta.Reset()
+			}
 			order = append(order, u.Rel)
 		}
-		d.Merge(t.ring, u.Tuple, payloadFor(t.ring, u.Mult))
+		src.delta.Merge(t.ring, u.Tuple, t.payloadFor(u.Mult))
 	}
+	var err error
 	for _, name := range order {
-		if err := t.ApplyDelta(name, deltas[name]); err != nil {
-			return err
+		src := t.sources[name]
+		src.inBatch = false
+		if err == nil {
+			err = t.ApplyDelta(name, src.delta)
 		}
 	}
-	return nil
+	t.updOrder = order[:0]
+	return err
 }
 
 // Insert is a convenience wrapper applying single-tuple inserts to one
@@ -157,12 +178,21 @@ func scaledOne[V any](r ring.Ring[V], n int) V {
 	return acc
 }
 
-// payloadFor returns mult × 1 in the ring (negative for deletes).
-func payloadFor[V any](r ring.Ring[V], mult int) V {
-	if mult < 0 {
-		return r.Neg(scaledOne(r, -mult))
+// payloadFor returns mult × 1 in the ring (negative for deletes). The
+// ±1 payloads of single-tuple updates come from the tree's shared cache
+// — stored payloads are immutable, so one value can back any number of
+// tuples.
+func (t *Tree[V]) payloadFor(mult int) V {
+	switch mult {
+	case 1:
+		return t.one
+	case -1:
+		return t.negOne
 	}
-	return scaledOne(r, mult)
+	if mult < 0 {
+		return t.ring.Neg(scaledOne(t.ring, -mult))
+	}
+	return scaledOne(t.ring, mult)
 }
 
 // DeltaFor builds a delta relation for rel from (tuple, multiplicity)
@@ -177,7 +207,7 @@ func (t *Tree[V]) DeltaFor(rel string, ups []Update) (*relation.Map[V], error) {
 		if u.Rel != rel {
 			return nil, fmt.Errorf("view: DeltaFor(%s) got update for %s", rel, u.Rel)
 		}
-		d.Merge(t.ring, u.Tuple, payloadFor(t.ring, u.Mult))
+		d.Merge(t.ring, u.Tuple, t.payloadFor(u.Mult))
 	}
 	return d, nil
 }

@@ -39,4 +39,27 @@
 // only immutable tree metadata and may run concurrently with
 // maintenance, which the serving layer exploits to prebuild deltas off
 // the writer thread.
+//
+// # Maintenance scratch and ownership
+//
+// The single-writer contract is what lets the tree keep reusable
+// scratch across calls (docs/PERF.md has the full story):
+//
+//   - Each source owns a delta buffer that ApplyUpdates Resets and
+//     refills per batch instead of allocating; the payloads put into
+//     it are freshly built, so views retaining them outlive the
+//     buffer's recycling.
+//   - The sequential propagation-steps slice and the parallel path's
+//     partition slots are tree-owned and recycled; concurrent
+//     propagate workers never touch them (they get goroutine-local
+//     buffers).
+//   - Each node carries a build-time evaluation plan (join and
+//     aggregation schema geometry, resolved lift), so per-delta
+//     evaluation re-derives nothing.
+//   - Values merged INTO views go through the pure ring Add — stored
+//     view payloads are immutable and may be shared with published
+//     snapshots; the in-place Scratch fast paths run only inside
+//     Join/Aggregate on values they created. Callers of ApplyDelta
+//     cede the delta's payloads to the tree: they must not mutate a
+//     delta after applying it (recycling its container is fine).
 package view

@@ -93,8 +93,15 @@ func pathOf[V any](n *Node[V]) []*Node[V] {
 // state — and the node's variable is marginalized. Because every read
 // is off-path and every write is deferred to commit, propagate is safe
 // to run concurrently for partitions of the same delta.
-func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node[V]) propagation[V] {
-	p := propagation[V]{steps: make([]*relation.Map[V], 0, len(path))}
+//
+// steps is the (possibly nil) buffer the propagation appends its step
+// views to: the sequential caller passes the tree's recycled scratch,
+// concurrent partition workers pass nil for a goroutine-local slice.
+func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node[V], steps []*relation.Map[V]) propagation[V] {
+	if cap(steps) < len(path) {
+		steps = make([]*relation.Map[V], 0, len(path))
+	}
+	p := propagation[V]{steps: steps}
 	d := t.evalNode(path[0], path[0].parts(src.data, delta))
 	for i := 0; ; i++ {
 		p.steps = append(p.steps, d)
@@ -107,15 +114,18 @@ func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node
 		d = t.evalNode(path[i+1], path[i+1].parts(path[i].view, d))
 	}
 	// d reached the root: join with the other root views (disconnected
-	// queries) and project to the result schema.
+	// queries) and project to the result schema, replaying the root's
+	// build-time plan.
 	dres := d
 	root := path[len(path)-1]
+	ji := 0
 	for _, r := range t.roots {
 		if r != root {
-			dres = relation.Join(t.ring, dres, r.view)
+			dres = relation.JoinWith(root.resJoins[ji], t.ring, dres, r.view)
+			ji++
 		}
 	}
-	p.dres = relation.Aggregate(t.ring, dres, t.result.Schema(), "", nil)
+	p.dres = relation.AggregateWith(root.resAgg, t.ring, dres, nil)
 	return p
 }
 
@@ -153,21 +163,32 @@ func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], pat
 	// empty key (relation fully marginalized at the anchor) degrades to
 	// a full-tuple hash, which is still correct, merely key-oblivious.
 	keyIdx := delta.PartitionKey(src.anchor.vn.Keys)
-	parts := delta.Partition(t.workers, keyIdx)
-	live := parts[:0]
+	if len(src.parts) != t.workers {
+		src.parts = make([]*relation.Map[V], t.workers)
+	}
+	parts := delta.PartitionInto(src.parts, keyIdx)
+	live := t.liveParts[:0]
 	for _, p := range parts {
 		if p.Len() > 0 {
 			live = append(live, p)
 		}
 	}
+	t.liveParts = live
 	if len(live) <= 1 {
 		// Hash skew put every tuple in one partition (e.g. a per-key
 		// burst): a goroutine handoff would buy zero parallelism, so
 		// run the sequential body on the original delta.
-		p := t.propagate(src, delta, path)
+		p := t.propagate(src, delta, path, t.propSteps[:0])
 		src.data.MergeAll(t.ring, delta)
 		t.stats.DeltaTuples += delta.Len()
 		t.commit(p, path)
+		for i := range p.steps {
+			p.steps[i] = nil
+		}
+		t.propSteps = p.steps[:0]
+		for _, p := range parts {
+			p.Reset()
+		}
 		return
 	}
 	props := make([]propagation[V], len(live))
@@ -176,7 +197,7 @@ func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], pat
 		wg.Add(1)
 		go func(i int, part *relation.Map[V]) {
 			defer wg.Done()
-			props[i] = t.propagate(src, part, path)
+			props[i] = t.propagate(src, part, path, nil)
 		}(i, part)
 	}
 	wg.Wait()
@@ -184,5 +205,11 @@ func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], pat
 	t.stats.DeltaTuples += delta.Len()
 	for _, p := range props {
 		t.commit(p, path)
+	}
+	// Clear the recycled partition slots now rather than at next use:
+	// they share entries with the just-applied delta and would otherwise
+	// pin it in memory while the tree sits idle.
+	for _, p := range parts {
+		p.Reset()
 	}
 }

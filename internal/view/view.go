@@ -39,6 +39,19 @@ type Node[V any] struct {
 	keys     value.Schema // group-by schema of this node's view
 	free     bool         // whether vn.Var is a group-by variable
 	view     *relation.Map[V]
+
+	// Evaluation plan, fixed at build time: the schema geometry of the
+	// node's part joins and its marginalizing aggregation, plus the
+	// resolved lift. Deriving these per evalNode call costs a dozen
+	// allocations — the dominant cost of single-tuple deltas.
+	joinPlans []*relation.JoinPlan
+	aggPlan   *relation.AggPlan
+	liftFn    ring.Lift[V]
+
+	// Root nodes additionally plan the result-level step of propagate:
+	// joining the other root views and projecting to the result schema.
+	resJoins []*relation.JoinPlan
+	resAgg   *relation.AggPlan
 }
 
 // Var returns the variable this node marginalizes.
@@ -71,6 +84,20 @@ type source[V any] struct {
 	// path is the anchor-to-root node path, fixed at tree build; every
 	// delta for this relation propagates along it.
 	path []*Node[V]
+	// delta is the relation's reusable delta buffer: ApplyUpdates Resets
+	// and refills it each batch instead of allocating a fresh relation
+	// per call. Payloads put into it are always freshly built
+	// (payloadFor), so views and source data may freely retain them
+	// after the buffer itself is recycled. inBatch marks the buffer
+	// in-use while one ApplyUpdates call groups its updates.
+	delta   *relation.Map[V]
+	inBatch bool
+	// parts holds this relation's recycled partition slots for parallel
+	// delta propagation (per source, since slots are schema-bound). The
+	// containers are reused; their contents are cleared after each
+	// commit so a partitioned delta is not pinned in memory between
+	// batches.
+	parts []*relation.Map[V]
 }
 
 // Tree is a materialized view tree. It is not safe for concurrent use:
@@ -91,6 +118,26 @@ type Tree[V any] struct {
 	// keeps every ApplyDelta on the sequential path.
 	workers     int
 	minParallel int
+
+	// Maintenance scratch, reused across calls under the tree's
+	// single-writer contract (see the package doc): the relation order
+	// buffer of ApplyUpdates, the sequential path's propagation-steps
+	// buffer, and the parallel path's live-partition list (the
+	// partition slots themselves live on each source, being
+	// schema-bound). None of it is touched by concurrent propagate
+	// workers, which only read off-path state and write goroutine-local
+	// maps.
+	updOrder  []string
+	propSteps []*relation.Map[V]
+	liveParts []*relation.Map[V]
+
+	// one and negOne cache the ring's ±1, the payloads of single-tuple
+	// inserts and deletes. Sharing one value across many stored tuples
+	// is sound because stored payloads are immutable (relations add with
+	// the pure ring Add; the in-place Scratch paths only ever run on
+	// payloads they constructed fresh).
+	one    V
+	negOne V
 }
 
 // Stats counts maintenance work; useful for benchmarks and ablations.
@@ -131,6 +178,8 @@ func New[V any](spec Spec[V]) (*Tree[V], error) {
 	if t.lifts == nil {
 		t.lifts = map[string]ring.Lift[V]{}
 	}
+	t.one = t.ring.One()
+	t.negOne = t.ring.Neg(t.one)
 	allVars := map[string]bool{}
 	for _, root := range spec.Order.Roots {
 		for _, v := range root.Vars() {
@@ -164,6 +213,19 @@ func New[V any](spec Spec[V]) (*Tree[V], error) {
 		s.path = pathOf(s.anchor)
 	}
 	t.result = relation.New[V](t.resultSchema())
+	// Plan each root's result-level step (see propagate): join the other
+	// root views in t.roots order, then project to the result schema.
+	for _, root := range t.roots {
+		acc := root.keys
+		for _, r := range t.roots {
+			if r != root {
+				pl := relation.PlanJoin(acc, r.keys)
+				root.resJoins = append(root.resJoins, pl)
+				acc = pl.Out()
+			}
+		}
+		root.resAgg = relation.PlanAggregate(acc, t.result.Schema(), "")
+	}
 	return t, nil
 }
 
@@ -189,6 +251,30 @@ func (t *Tree[V]) buildNode(vn *vo.Node, parent *Node[V]) *Node[V] {
 	}
 	n.keys = keys
 	n.view = relation.New[V](keys)
+	// Plan the node's evaluation: left-fold joins over the parts
+	// (children views then anchored relations, the parts order), then
+	// the aggregation away of this node's variable.
+	schemas := make([]value.Schema, 0, len(n.children)+len(n.rels))
+	for _, c := range n.children {
+		schemas = append(schemas, c.keys)
+	}
+	for _, r := range n.rels {
+		schemas = append(schemas, r.schema)
+	}
+	if len(schemas) > 0 {
+		acc := schemas[0]
+		for _, s := range schemas[1:] {
+			pl := relation.PlanJoin(acc, s)
+			n.joinPlans = append(n.joinPlans, pl)
+			acc = pl.Out()
+		}
+		liftAttr := ""
+		if lf, ok := t.lifts[vn.Var]; ok && acc.Has(vn.Var) {
+			n.liftFn = lf
+			liftAttr = vn.Var
+		}
+		n.aggPlan = relation.PlanAggregate(acc, keys, liftAttr)
+	}
 	return n
 }
 
@@ -272,21 +358,18 @@ func (n *Node[V]) parts(exclude, repl *relation.Map[V]) []*relation.Map[V] {
 
 // evalNode computes the node's view contents from the given parts:
 // join them all, then marginalize the node's variable (unless free),
-// multiplying by its lift.
+// multiplying by its lift. The schema geometry comes from the node's
+// build-time plan; parts must follow the node's fixed order (a delta
+// substitutes a part of identical schema, so the plan stays valid).
 func (t *Tree[V]) evalNode(n *Node[V], parts []*relation.Map[V]) *relation.Map[V] {
 	if len(parts) == 0 {
 		return relation.New[V](n.keys)
 	}
 	j := parts[0]
-	for _, p := range parts[1:] {
-		j = relation.Join(t.ring, j, p)
+	for i, p := range parts[1:] {
+		j = relation.JoinWith(n.joinPlans[i], t.ring, j, p)
 	}
-	var lift ring.Lift[V]
-	liftAttr := ""
-	if lf, ok := t.lifts[n.vn.Var]; ok && j.Schema().Has(n.vn.Var) {
-		lift, liftAttr = lf, n.vn.Var
-	}
-	return relation.Aggregate(t.ring, j, n.keys, liftAttr, lift)
+	return relation.AggregateWith(n.aggPlan, t.ring, j, n.liftFn)
 }
 
 // refresh recomputes the subtree bottom-up from current sources; used by

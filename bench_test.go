@@ -50,6 +50,15 @@ func BenchmarkE7BatchSize(b *testing.B) { perf.RunGroup(b, "E7BatchSize") }
 // BenchmarkE7AggCount sweeps the COVAR degree m.
 func BenchmarkE7AggCount(b *testing.B) { perf.RunGroup(b, "E7AggCount") }
 
+// --- Update-latency scaling ---------------------------------------------------
+
+// BenchmarkUpdateLatencyScaling measures steady-state single-tuple
+// ApplyDelta latency against pre-loaded Retailer bases of 1k/10k/100k
+// fact rows, per engine kind. With the persistent join-key view indexes
+// the latency must stay ~flat across the sweep — the paper's
+// delta-proportional maintenance bound (docs/PERF.md).
+func BenchmarkUpdateLatencyScaling(b *testing.B) { perf.RunGroup(b, "UpdateLatencyScaling") }
+
 // --- E8: parallel delta propagation -----------------------------------------
 
 // BenchmarkE8Workers sweeps the delta-propagation worker count on the

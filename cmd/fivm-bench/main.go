@@ -11,6 +11,7 @@
 //	fivm-bench -exp all -scale small
 //	fivm-bench -exp perf -json BENCH_dev.json [-bench regex] [-benchtime 100ms]
 //	fivm-bench compare [-max-rate-drop 0.15] [-max-alloc-growth 0.10] BENCH_baseline.json BENCH_dev.json
+//	fivm-bench scalingcheck [-max-growth 3] BENCH_dev.json
 package main
 
 import (
@@ -29,6 +30,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(runCompare(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scalingcheck" {
+		os.Exit(runScalingCheck(os.Args[2:]))
 	}
 
 	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all, or perf")
@@ -129,6 +133,32 @@ func runCompare(args []string) int {
 		return 2
 	}
 	findings, ok := perf.Compare(baseline, current, th)
+	perf.WriteFindings(os.Stdout, findings, ok)
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// runScalingCheck gates the O(|delta|) latency claim within a single
+// report: the UpdateLatencyScaling 100k-row ns/op must stay within a
+// bounded factor of the 1k-row ns/op. Being a single-run property it is
+// hardware-independent, so CI enforces it on every run regardless of
+// what machine the committed baseline came from (docs/PERF.md).
+func runScalingCheck(args []string) int {
+	fs := flag.NewFlagSet("scalingcheck", flag.ExitOnError)
+	maxGrowth := fs.Float64("max-growth", perf.DefaultMaxScalingGrowth, "tolerated 1k->100k ns/op growth factor")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fivm-bench scalingcheck [flags] report.json")
+		return 2
+	}
+	rep, err := perf.ReadJSON(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 2
+	}
+	findings, ok := perf.CheckScaling(rep, *maxGrowth)
 	perf.WriteFindings(os.Stdout, findings, ok)
 	if !ok {
 		return 1

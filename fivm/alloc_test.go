@@ -20,12 +20,15 @@ import (
 const (
 	// maxAllocsCovarSingle bounds allocs for one insert + one delete of
 	// a single tuple on the scalar-covar engine (degree 3, two-relation
-	// join). Measured 82 allocs for the pair (41 per update) after the
-	// scratch-buffer rework (down from 230+ before it).
-	maxAllocsCovarSingle = 100
+	// join). Measured 76 allocs for the pair (38 per update) on the
+	// indexed delta path (JoinProbeWith probes the persistent join-key
+	// indexes, so the per-call build-side index of the old scan path is
+	// gone); was 82 after the scratch-buffer rework, 230+ before it.
+	maxAllocsCovarSingle = 95
 	// maxAllocsCountSingle bounds the same pair on the count engine.
-	// Measured 54 allocs for the pair (27 per update).
-	maxAllocsCountSingle = 68
+	// Measured 48 allocs for the pair (24 per update) on the indexed
+	// path (down from 54 on the build-and-scan path).
+	maxAllocsCountSingle = 60
 )
 
 func allocFixtureData() map[string][]value.Tuple {

@@ -41,6 +41,14 @@
 //     allocates little (pinned by alloc_test.go; see docs/PERF.md). A
 //     delta passed to ApplyDelta/ApplyBuilt is ceded to the engine —
 //     callers must not mutate it afterwards.
+//   - Per-update maintenance is O(|delta|), not O(database): delta
+//     propagation probes persistent join-key indexes on the sibling
+//     views and co-anchored relations instead of scanning them, so
+//     single-tuple ApplyDelta latency stays ~flat as base relations
+//     grow (BenchmarkUpdateLatencyScaling; docs/ARCHITECTURE.md has
+//     the index design). Indexes are engine-internal: they build
+//     lazily on first use and registration survives Init and
+//     ReadSnapshot, with no API surface to manage.
 //
 // A minimal session:
 //

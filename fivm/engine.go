@@ -149,12 +149,14 @@ func (e *Engine[V]) Delete(rel string, tuples ...value.Tuple) error {
 	return e.tree.Delete(rel, tuples...)
 }
 
-// ApplyDelta maintains the views under a prebuilt delta relation. With
-// SetParallelism configured, deltas above the view layer's threshold
-// propagate hash-partitioned across a worker pool; the maintained
-// views are the sequential path's (bit-identical whenever ring
-// addition is exact — see view.Tree.SetParallelism for the float
-// rounding caveat).
+// ApplyDelta maintains the views under a prebuilt delta relation, in
+// time proportional to the delta: propagation probes the view tree's
+// persistent join-key indexes rather than scanning sibling views (see
+// docs/ARCHITECTURE.md). With SetParallelism configured, deltas above
+// the view layer's threshold propagate hash-partitioned across a
+// worker pool; the maintained views are the sequential path's
+// (bit-identical whenever ring addition is exact — see
+// view.Tree.SetParallelism for the float rounding caveat).
 func (e *Engine[V]) ApplyDelta(rel string, d *relation.Map[V]) error {
 	return e.tree.ApplyDelta(rel, d)
 }

@@ -3,6 +3,7 @@ package perf
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Thresholds bound the acceptable drift between a baseline report and
@@ -27,17 +28,43 @@ func DefaultThresholds() Thresholds {
 	return Thresholds{MaxRateDrop: 0.15, MaxAllocGrowth: 0.10, AllocFloor: 16}
 }
 
-// Finding is one comparison outcome, regression or note.
+// FindingKind classifies a comparison outcome.
+type FindingKind string
+
+// The finding kinds Compare emits. Only FindingRegression fails the
+// gate: additions (benchmark in the candidate but not the baseline —
+// the normal state of a PR that extends the suite before the baseline
+// is refreshed) and removals are informational.
+const (
+	FindingRegression FindingKind = "REGRESSION"
+	FindingAddition   FindingKind = "addition"
+	FindingRemoval    FindingKind = "removed"
+	FindingNote       FindingKind = "note"
+)
+
+// Finding is one comparison outcome. Kind is the single source of
+// truth for severity; use IsRegression for gating.
 type Finding struct {
-	Name       string
-	Regression bool
-	Detail     string
+	Name   string
+	Kind   FindingKind
+	Detail string
+}
+
+// IsRegression reports whether this finding fails the gate.
+func (f Finding) IsRegression() bool { return f.Kind == FindingRegression }
+
+// regression builds a failing finding.
+func regression(name, detail string) Finding {
+	return Finding{Name: name, Kind: FindingRegression, Detail: detail}
 }
 
 // Compare matches results by name and reports drift beyond the
-// thresholds. Benchmarks present on only one side produce notes, not
-// regressions (the suite is allowed to grow and shrink); a regression
-// in either rate or allocations fails that benchmark.
+// thresholds. Benchmarks present on only one side never fail the gate:
+// candidates missing from the baseline are informational additions
+// (FindingAddition — a refreshed suite compared against an old baseline
+// is expected, not an error) and baseline entries missing from the
+// candidate are removals; a regression in either rate or allocations
+// fails that benchmark.
 func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok bool) {
 	ok = true
 	// Rate metrics (updates/sec, ns/op) are hardware-dependent: a
@@ -46,7 +73,7 @@ func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok b
 	// allocation budget in that case, loudly.
 	sameEnv := baseline.GOMAXPROCS == current.GOMAXPROCS
 	if !sameEnv {
-		findings = append(findings, Finding{Name: "(environment)",
+		findings = append(findings, Finding{Name: "(environment)", Kind: FindingNote,
 			Detail: fmt.Sprintf("baseline GOMAXPROCS=%d vs current GOMAXPROCS=%d: rate checks skipped, allocs/op still enforced — refresh BENCH_baseline.json on matching hardware (docs/PERF.md)",
 				baseline.GOMAXPROCS, current.GOMAXPROCS)})
 	}
@@ -59,7 +86,8 @@ func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok b
 		seen[cur.Name] = true
 		old, inBase := base[cur.Name]
 		if !inBase {
-			findings = append(findings, Finding{Name: cur.Name, Detail: "new benchmark (no baseline entry)"})
+			findings = append(findings, Finding{Name: cur.Name, Kind: FindingAddition,
+				Detail: "new benchmark, no baseline entry — informational; refresh BENCH_baseline.json to start gating it"})
 			continue
 		}
 
@@ -69,15 +97,15 @@ func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok b
 		case old.UpdatesPerSec > 0 && cur.UpdatesPerSec > 0:
 			if cur.UpdatesPerSec < old.UpdatesPerSec*(1-th.MaxRateDrop) {
 				ok = false
-				findings = append(findings, Finding{Name: cur.Name, Regression: true,
-					Detail: fmt.Sprintf("updates/sec %.0f -> %.0f (-%.1f%%, budget %.0f%%)",
-						old.UpdatesPerSec, cur.UpdatesPerSec, 100*(1-cur.UpdatesPerSec/old.UpdatesPerSec), 100*th.MaxRateDrop)})
+				findings = append(findings, regression(cur.Name,
+					fmt.Sprintf("updates/sec %.0f -> %.0f (-%.1f%%, budget %.0f%%)",
+						old.UpdatesPerSec, cur.UpdatesPerSec, 100*(1-cur.UpdatesPerSec/old.UpdatesPerSec), 100*th.MaxRateDrop)))
 			}
 		case old.UpdatesPerSec > 0 && cur.UpdatesPerSec == 0:
 			// The rate metric vanished (reportRate dropped or renamed):
 			// the headline gate would silently degrade to ns/op, so say
 			// so before falling back.
-			findings = append(findings, Finding{Name: cur.Name,
+			findings = append(findings, Finding{Name: cur.Name, Kind: FindingNote,
 				Detail: "updates/sec metric missing from current run (baseline had one); falling back to ns/op"})
 			fallthrough
 		case old.NsPerOp > 0:
@@ -85,37 +113,122 @@ func Compare(baseline, current *Report, th Thresholds) (findings []Finding, ok b
 			// missing-metric case skips this case's condition.
 			if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+th.MaxRateDrop) {
 				ok = false
-				findings = append(findings, Finding{Name: cur.Name, Regression: true,
-					Detail: fmt.Sprintf("ns/op %.0f -> %.0f (+%.1f%%, budget %.0f%%)",
-						old.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/old.NsPerOp-1), 100*th.MaxRateDrop)})
+				findings = append(findings, regression(cur.Name,
+					fmt.Sprintf("ns/op %.0f -> %.0f (+%.1f%%, budget %.0f%%)",
+						old.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/old.NsPerOp-1), 100*th.MaxRateDrop)))
 			}
 		}
 
 		if growth := cur.AllocsPerOp - old.AllocsPerOp; growth > th.AllocFloor &&
 			float64(cur.AllocsPerOp) > float64(old.AllocsPerOp)*(1+th.MaxAllocGrowth) {
 			ok = false
-			findings = append(findings, Finding{Name: cur.Name, Regression: true,
-				Detail: fmt.Sprintf("allocs/op %d -> %d (+%.1f%%, budget %.0f%%)",
-					old.AllocsPerOp, cur.AllocsPerOp, 100*(float64(cur.AllocsPerOp)/float64(old.AllocsPerOp)-1), 100*th.MaxAllocGrowth)})
+			findings = append(findings, regression(cur.Name,
+				fmt.Sprintf("allocs/op %d -> %d (+%.1f%%, budget %.0f%%)",
+					old.AllocsPerOp, cur.AllocsPerOp, 100*(float64(cur.AllocsPerOp)/float64(old.AllocsPerOp)-1), 100*th.MaxAllocGrowth)))
 		}
 	}
 	for _, r := range baseline.Results {
 		if !seen[r.Name] {
-			findings = append(findings, Finding{Name: r.Name, Detail: "missing from current run (baseline entry unmatched)"})
+			findings = append(findings, Finding{Name: r.Name, Kind: FindingRemoval,
+				Detail: "missing from current run (baseline entry unmatched)"})
 		}
 	}
 	return findings, ok
 }
 
-// WriteFindings renders findings as one line each; regressions are
-// prefixed REGRESSION so CI logs grep cleanly.
-func WriteFindings(w io.Writer, findings []Finding, ok bool) {
-	for _, f := range findings {
-		tag := "note"
-		if f.Regression {
-			tag = "REGRESSION"
+// DefaultMaxScalingGrowth bounds UpdateLatencyScaling's 100k/1k ns/op
+// ratio in CheckScaling. The indexed delta path measures ~1.4-1.9x
+// (cache pressure from larger view maps); a single dropped index
+// registration (one path join falling back to build-and-scan) shows
+// from ~3x up, and a full return to scanning measures 10-40x. 3x
+// leaves >1.5x headroom over the measured curve while catching partial
+// regressions, not just total ones; a run that trips it on
+// measurement noise can be retried or overridden with -max-growth.
+const DefaultMaxScalingGrowth = 3.0
+
+// CheckScaling verifies the O(|delta|) latency claim WITHIN one report,
+// which makes it hardware-independent — unlike the rate thresholds of
+// Compare, it needs no baseline from matching hardware: for every
+// UpdateLatencyScaling family, the 100k-row ns/op must stay under
+// maxGrowth times the 1k-row ns/op. This is the gate that catches a
+// silent return to scan-the-sibling-view joins (whose latency grows
+// linearly in the base while its allocs/op stay flat, so the allocation
+// budget alone cannot catch it).
+func CheckScaling(rep *Report, maxGrowth float64) (findings []Finding, ok bool) {
+	ok = true
+	// Group the scaling entries by family ("UpdateLatencyScaling/<kind>")
+	// so a family missing either endpoint fails loudly instead of being
+	// silently skipped — a gate that quietly covers fewer engine kinds
+	// than the suite defines guards nothing.
+	type endpoints struct{ ns1k, ns100k float64 }
+	families := map[string]*endpoints{}
+	order := []string{}
+	for _, r := range rep.Results {
+		if !strings.HasPrefix(r.Name, "UpdateLatencyScaling/") {
+			continue
 		}
-		fmt.Fprintf(w, "%-10s %-40s %s\n", tag, f.Name, f.Detail)
+		family, size, found := strings.Cut(strings.TrimPrefix(r.Name, "UpdateLatencyScaling/"), "/")
+		if !found {
+			continue
+		}
+		name := "UpdateLatencyScaling/" + family
+		e := families[name]
+		if e == nil {
+			e = &endpoints{}
+			families[name] = e
+			order = append(order, name)
+		}
+		switch size {
+		case "1k":
+			e.ns1k = r.NsPerOp
+		case "100k":
+			e.ns100k = r.NsPerOp
+		}
+	}
+	if len(families) == 0 {
+		return []Finding{regression("(scaling)",
+			"no UpdateLatencyScaling entries in the report — the flatness gate has nothing to check")}, false
+	}
+	for _, name := range order {
+		e := families[name]
+		if e.ns1k <= 0 || e.ns100k <= 0 {
+			ok = false
+			findings = append(findings, regression(name,
+				"missing a 1k or 100k endpoint — the family's flatness cannot be checked"))
+			continue
+		}
+		growth := e.ns100k / e.ns1k
+		if growth > maxGrowth {
+			ok = false
+			findings = append(findings, regression(name,
+				fmt.Sprintf("single-tuple latency grew %.1fx from 1k to 100k rows (%.0f -> %.0f ns/op, budget %.1fx): per-update cost is scaling with the database, not the delta",
+					growth, e.ns1k, e.ns100k, maxGrowth)))
+		} else {
+			findings = append(findings, Finding{Name: name, Kind: FindingNote,
+				Detail: fmt.Sprintf("1k -> 100k latency growth %.1fx (%.0f -> %.0f ns/op, budget %.1fx)",
+					growth, e.ns1k, e.ns100k, maxGrowth)})
+		}
+	}
+	return findings, ok
+}
+
+// WriteFindings renders findings as one line each, tagged by kind
+// (REGRESSION lines grep cleanly in CI logs), followed by a summary
+// that counts suite drift so a refreshed suite against an old baseline
+// reads as what it is — additions — rather than a wall of notes.
+func WriteFindings(w io.Writer, findings []Finding, ok bool) {
+	var added, removed int
+	for _, f := range findings {
+		switch f.Kind {
+		case FindingAddition:
+			added++
+		case FindingRemoval:
+			removed++
+		}
+		fmt.Fprintf(w, "%-10s %-40s %s\n", f.Kind, f.Name, f.Detail)
+	}
+	if added > 0 || removed > 0 {
+		fmt.Fprintf(w, "perf: suite drift: %d added, %d removed (informational)\n", added, removed)
 	}
 	if ok {
 		fmt.Fprintln(w, "perf: within thresholds")

@@ -3,6 +3,7 @@ package perf
 import (
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -108,7 +109,7 @@ func TestCompareRateRegression(t *testing.T) {
 	base := report(Result{Name: "x", UpdatesPerSec: 100_000, AllocsPerOp: 1000})
 	cur := report(Result{Name: "x", UpdatesPerSec: 80_000, AllocsPerOp: 1000}) // -20%
 	findings, ok := Compare(base, cur, DefaultThresholds())
-	if ok || len(findings) != 1 || !findings[0].Regression {
+	if ok || len(findings) != 1 || !findings[0].IsRegression() {
 		t.Fatalf("expected one regression, got ok=%v findings=%+v", ok, findings)
 	}
 }
@@ -147,7 +148,7 @@ func TestCompareEnvMismatchSkipsRateNotAllocs(t *testing.T) {
 	if !ok {
 		t.Fatalf("rate drop across differing GOMAXPROCS must not fail: %+v", findings)
 	}
-	if len(findings) != 1 || findings[0].Regression {
+	if len(findings) != 1 || findings[0].IsRegression() {
 		t.Fatalf("expected one environment note, got %+v", findings)
 	}
 	// Allocations remain enforced across environments.
@@ -164,7 +165,7 @@ func TestCompareMissingRateMetricNotes(t *testing.T) {
 	if !ok {
 		t.Fatalf("ns/op within budget must pass: %+v", findings)
 	}
-	if len(findings) != 1 || findings[0].Regression {
+	if len(findings) != 1 || findings[0].IsRegression() {
 		t.Fatalf("expected a missing-metric note, got %+v", findings)
 	}
 	// And the ns/op fallback still gates.
@@ -182,11 +183,139 @@ func TestCompareMismatchedSets(t *testing.T) {
 		t.Fatalf("set drift must not fail the gate: %+v", findings)
 	}
 	if len(findings) != 2 {
-		t.Fatalf("expected two notes, got %+v", findings)
+		t.Fatalf("expected two findings, got %+v", findings)
+	}
+	kinds := map[string]FindingKind{}
+	for _, f := range findings {
+		if f.IsRegression() {
+			t.Fatalf("drift finding wrongly marked regression: %+v", f)
+		}
+		kinds[f.Name] = f.Kind
+	}
+	if kinds["new"] != FindingAddition {
+		t.Fatalf("candidate-only benchmark should be an addition, got %q", kinds["new"])
+	}
+	if kinds["gone"] != FindingRemoval {
+		t.Fatalf("baseline-only benchmark should be a removal, got %q", kinds["gone"])
+	}
+}
+
+// TestCheckScalingFlatCurvePasses: the single-run flatness gate passes
+// a curve within the growth budget and reports each family as a note.
+func TestCheckScalingFlatCurvePasses(t *testing.T) {
+	rep := report(
+		Result{Name: "UpdateLatencyScaling/count/1k", NsPerOp: 13_000},
+		Result{Name: "UpdateLatencyScaling/count/10k", NsPerOp: 15_000},
+		Result{Name: "UpdateLatencyScaling/count/100k", NsPerOp: 21_000},
+		Result{Name: "UpdateLatencyScaling/covar/1k", NsPerOp: 17_000},
+		Result{Name: "UpdateLatencyScaling/covar/100k", NsPerOp: 32_000},
+		Result{Name: "E2FIVM", NsPerOp: 1},
+	)
+	findings, ok := CheckScaling(rep, DefaultMaxScalingGrowth)
+	if !ok {
+		t.Fatalf("flat curve must pass: %+v", findings)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("expected one note per family, got %+v", findings)
 	}
 	for _, f := range findings {
-		if f.Regression {
-			t.Fatalf("note wrongly marked regression: %+v", f)
+		if f.Kind != FindingNote {
+			t.Fatalf("flat family should be a note: %+v", f)
 		}
+	}
+}
+
+// TestCheckScalingLinearCurveFails: a curve that grows like the
+// pre-index build-and-scan path (~20x and up) must fail the gate even
+// though it is a single-run, baseline-free check.
+func TestCheckScalingLinearCurveFails(t *testing.T) {
+	rep := report(
+		Result{Name: "UpdateLatencyScaling/count/1k", NsPerOp: 97_000},
+		Result{Name: "UpdateLatencyScaling/count/100k", NsPerOp: 540_000}, // 5.6x
+	)
+	findings, ok := CheckScaling(rep, DefaultMaxScalingGrowth)
+	if ok {
+		t.Fatalf("linear growth must fail: %+v", findings)
+	}
+	if len(findings) != 1 || !findings[0].IsRegression() {
+		t.Fatalf("expected one regression, got %+v", findings)
+	}
+}
+
+// TestCheckScalingMissingEntriesFails: a report without the scaling
+// sweep must fail loudly — a silently skipped gate guards nothing.
+func TestCheckScalingMissingEntriesFails(t *testing.T) {
+	rep := report(Result{Name: "E2FIVM", NsPerOp: 1})
+	if _, ok := CheckScaling(rep, DefaultMaxScalingGrowth); ok {
+		t.Fatal("report without scaling entries must fail the gate")
+	}
+}
+
+// TestCheckScalingUnpairedFamilyFails: a family with only one endpoint
+// (a filtered run, or a suite edit that drops one size) must fail too —
+// the per-family version of the missing-entries rule.
+func TestCheckScalingUnpairedFamilyFails(t *testing.T) {
+	rep := report(
+		Result{Name: "UpdateLatencyScaling/count/1k", NsPerOp: 13_000},
+		Result{Name: "UpdateLatencyScaling/count/100k", NsPerOp: 20_000},
+		Result{Name: "UpdateLatencyScaling/covar/1k", NsPerOp: 17_000}, // no /100k
+	)
+	findings, ok := CheckScaling(rep, DefaultMaxScalingGrowth)
+	if ok {
+		t.Fatalf("unpaired covar family must fail the gate: %+v", findings)
+	}
+	var covar *Finding
+	for i := range findings {
+		if findings[i].Name == "UpdateLatencyScaling/covar" {
+			covar = &findings[i]
+		}
+	}
+	if covar == nil || !covar.IsRegression() {
+		t.Fatalf("expected a regression for the unpaired family, got %+v", findings)
+	}
+	// A /100k without its /1k partner is just as unpaired.
+	rep = report(Result{Name: "UpdateLatencyScaling/count/100k", NsPerOp: 20_000})
+	if _, ok := CheckScaling(rep, DefaultMaxScalingGrowth); ok {
+		t.Fatal("100k-only family must fail the gate")
+	}
+}
+
+// TestCompareRefreshedSuiteAgainstOldBaseline is the scenario that
+// motivated the finding kinds: a PR extends the suite (e.g. the
+// UpdateLatencyScaling sweep) before the baseline is refreshed. The
+// gate must pass, every new entry must surface as an addition, and the
+// rendered output must summarize the drift instead of failing or
+// burying it.
+func TestCompareRefreshedSuiteAgainstOldBaseline(t *testing.T) {
+	base := report(Result{Name: "E2FIVM", UpdatesPerSec: 100_000, AllocsPerOp: 1000})
+	cur := report(
+		Result{Name: "E2FIVM", UpdatesPerSec: 101_000, AllocsPerOp: 990},
+		Result{Name: "UpdateLatencyScaling/count/1k", UpdatesPerSec: 150_000, AllocsPerOp: 40},
+		Result{Name: "UpdateLatencyScaling/count/100k", UpdatesPerSec: 100_000, AllocsPerOp: 40},
+	)
+	findings, ok := Compare(base, cur, DefaultThresholds())
+	if !ok {
+		t.Fatalf("new suite entries must not fail against an old baseline: %+v", findings)
+	}
+	additions := 0
+	for _, f := range findings {
+		if f.Kind == FindingAddition {
+			additions++
+		}
+	}
+	if additions != 2 {
+		t.Fatalf("expected 2 additions, got %d in %+v", additions, findings)
+	}
+	var buf strings.Builder
+	WriteFindings(&buf, findings, ok)
+	out := buf.String()
+	if !strings.Contains(out, "2 added, 0 removed") {
+		t.Fatalf("summary line missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "within thresholds") {
+		t.Fatalf("pass line missing from output:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Fatalf("additions must not render as regressions:\n%s", out)
 	}
 }

@@ -48,6 +48,14 @@ func Suite() []Bench {
 	for _, m := range []int{2, 10, 20} {
 		s = append(s, Bench{Name: "E7AggCount/" + sizeName(m), Fn: benchE7AggCount(m)})
 	}
+	for _, kind := range []string{"count", "covar"} {
+		for _, rows := range []int{1_000, 10_000, 100_000} {
+			s = append(s, Bench{
+				Name: fmt.Sprintf("UpdateLatencyScaling/%s/%s", kind, sizeName(rows)),
+				Fn:   benchUpdateLatencyScaling(kind, rows),
+			})
+		}
+	}
 	for _, workers := range []int{1, 4} {
 		s = append(s, Bench{Name: fmt.Sprintf("E8Workers/workers%d", workers), Fn: benchE8Workers(workers)})
 	}
@@ -340,6 +348,80 @@ func benchE7AggCount(m int) func(b *testing.B) {
 			applyBatched(b, eng.Apply, ups, 500)
 		}
 		reportRate(b, len(ups))
+	}
+}
+
+// --- Update-latency scaling ---------------------------------------------------
+
+// benchUpdateLatencyScaling pins the paper's central complexity claim:
+// single-tuple maintenance cost proportional to the delta, not the
+// database. It bulk-loads the Retailer join at the given fact-table
+// size ONCE (outside the timer), then measures steady-state
+// insert+delete pairs of one Inventory tuple. With the persistent
+// join-key view indexes the ns/op must stay ~flat as rows grows
+// 1k -> 100k; the pre-index build-and-scan join degraded linearly
+// because every path join scanned the full sibling view. CI graphs
+// these entries as the latency-vs-size curve (docs/PERF.md).
+func benchUpdateLatencyScaling(kind string, rows int) func(b *testing.B) {
+	return func(b *testing.B) {
+		db, fs, _, aggs := retailerFixture(b, rows)
+		// The benchmark drives the kind-independent surface every engine
+		// shares — bulk load once, then prebuilt single-tuple deltas
+		// through the type-erased delta path, exactly as the serving
+		// pipeline does.
+		var eng fivm.AnyEngine
+		switch kind {
+		case "count":
+			cat := fivm.NewCatalog()
+			for _, r := range db.Relations {
+				if err := cat.AddRelation(r.Name, r.Attrs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q, err := fivm.Parse(cat, "SELECT SUM(1) FROM Inventory NATURAL JOIN Location NATURAL JOIN Census NATURAL JOIN Item NATURAL JOIN Weather")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ce, err := fivm.NewCountEngine(q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng = ce
+		case "covar":
+			ce, err := fivm.NewCovarEngine(fs, aggs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng = ce
+		default:
+			b.Fatalf("unknown scaling engine kind %q", kind)
+		}
+		if err := eng.Init(db.TupleMap()); err != nil {
+			b.Fatal(err)
+		}
+		tup := db.TupleMap()["Inventory"][0]
+		dIns, err := eng.BuildDelta("Inventory", []view.Update{{Rel: "Inventory", Tuple: tup, Mult: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dDel, err := eng.BuildDelta("Inventory", []view.Update{{Rel: "Inventory", Tuple: tup, Mult: -1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		apply := func() {
+			if err := eng.ApplyBuilt("Inventory", dIns); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.ApplyBuilt("Inventory", dDel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		apply() // warm the tree's scratch before measuring
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply()
+		}
+		reportRate(b, 2)
 	}
 }
 

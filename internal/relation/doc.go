@@ -18,8 +18,10 @@
 //
 // Beyond storage, the package provides the relational algebra the view
 // tree is built from (hash Join, group-by Aggregate with lift
-// application) and Partition, the hash split by join key that feeds
-// parallel delta propagation.
+// application), persistent secondary join-key indexes (AddIndex) with
+// the index-probing JoinProbeWith that makes delta-sized joins cost
+// O(|delta|) instead of O(|relation|), and Partition, the hash split by
+// join key that feeds parallel delta propagation.
 //
 // # Ownership and the allocation-lean hot path
 //
@@ -47,4 +49,13 @@
 // capacity (per-engine delta buffers), and PartitionInto refills
 // caller-provided partition slots — both exist so steady-state
 // maintenance re-walks warm memory instead of reallocating it.
+//
+// Secondary indexes extend the contract without bending it: postings
+// hold the map's own entry pointers, so the immutable-payload rule
+// keeps them valid through in-place payload updates; only entry
+// insertion and annihilation touch them, on the same single-writer
+// paths that mutate the primary map. Indexes build lazily on first
+// probe (a sync.Once makes that safe from concurrent reading workers)
+// and an index never probed costs nothing. See index.go and
+// docs/ARCHITECTURE.md.
 package relation

@@ -44,6 +44,9 @@ func fold[V any](r ring.Ring[V], sc ring.Scratch[V], out *Map[V], buf []byte, p 
 			s = r.Add(e.payload, p)
 		}
 		if r.IsZero(s) {
+			// No index maintenance here: Join and Aggregate outputs are
+			// always freshly allocated, never indexed (indexes live on
+			// long-lived maps mutated through Merge/MergeAll/Set).
 			delete(out.data, string(buf))
 		} else {
 			e.payload = s
@@ -106,6 +109,16 @@ type JoinPlan struct {
 // right's attributes not in left.
 func (p *JoinPlan) Out() value.Schema { return p.out }
 
+// LeftIndexKey returns the projection positions (into the left schema)
+// of the join's common key — the index the left side must carry for
+// JoinProbeWith to probe it when the right side is the small one.
+func (p *JoinPlan) LeftIndexKey() []int { return p.rev.buildCommon }
+
+// RightIndexKey is LeftIndexKey for the right side: the positions (into
+// the right schema) of the common key JoinProbeWith probes the right
+// side's index on.
+func (p *JoinPlan) RightIndexKey() []int { return p.fwd.buildCommon }
+
 // PlanJoin precomputes the join geometry for relations over the two
 // schemas.
 func PlanJoin(left, right value.Schema) *JoinPlan {
@@ -127,6 +140,98 @@ func Join[V any](r ring.Ring[V], left, right *Map[V]) *Map[V] {
 	return JoinWith(PlanJoin(left.schema, right.schema), r, left, right)
 }
 
+// joinMatches merges every (probe-entry × match) pair into out: the
+// shared inner loop of JoinWith and JoinProbeWith. Payloads multiply
+// left-first regardless of which side is iterated (swapped marks the
+// iterated side as the right one). obuf is the reused output-key
+// scratch, returned for the caller's next round.
+func joinMatches[V any](out *Map[V], r ring.Ring[V], sc ring.Scratch[V], fma ring.FMA[V],
+	o *joinOrient, swapped bool, pe *entry[V], matches []*entry[V], obuf []byte) []byte {
+	fromBuild, srcPos := o.fromBuild, o.srcPos
+	for _, be := range matches {
+		// Left payload first, preserving any non-commutative key
+		// orientation (the indexed side is left when swapped).
+		a, b := pe.payload, be.payload
+		if swapped {
+			a, b = be.payload, pe.payload
+		}
+		obuf = obuf[:0]
+		for i, fb := range fromBuild {
+			if fb {
+				obuf = be.tuple[srcPos[i]].AppendEncode(obuf)
+			} else {
+				obuf = pe.tuple[srcPos[i]].AppendEncode(obuf)
+			}
+		}
+		if e, ok := out.data[string(obuf)]; ok {
+			// Duplicate output tuple: fold a×b into the owned
+			// accumulator without materializing the product when the
+			// ring supports it.
+			var s V
+			if fma != nil && !e.shared {
+				s = fma.MulAddInto(e.payload, a, b)
+			} else {
+				p := r.Mul(a, b)
+				if r.IsZero(p) {
+					continue
+				}
+				if sc != nil && !e.shared {
+					s = sc.AddInto(e.payload, p)
+				} else {
+					s = r.Add(e.payload, p)
+				}
+			}
+			if r.IsZero(s) {
+				delete(out.data, string(obuf))
+			} else {
+				e.payload = s
+				e.shared = false
+			}
+			continue
+		}
+		p := r.Mul(a, b)
+		if r.IsZero(p) {
+			continue
+		}
+		// First hit for this output tuple: materialize it (the Mul
+		// result p is fresh, so the entry owns it already).
+		t := make(value.Tuple, len(fromBuild))
+		for i, fb := range fromBuild {
+			if fb {
+				t[i] = be.tuple[srcPos[i]]
+			} else {
+				t[i] = pe.tuple[srcPos[i]]
+			}
+		}
+		out.data[string(obuf)] = &entry[V]{tuple: t, payload: p}
+	}
+	return obuf
+}
+
+// JoinScratch recycles the transient build-side index JoinWithScratch
+// constructs, so a caller that joins in a loop (the view tree's bulk
+// refresh) does not rebuild and discard the map — and its postings
+// slices — on every call. Key strings still materialize per distinct
+// build key (Go map keys are owned by the map). Not safe for concurrent
+// use: every concurrent joiner needs its own scratch, which is why the
+// delta-propagation workers pass nil.
+type JoinScratch[V any] struct {
+	index map[string][]*entry[V]
+	free  [][]*entry[V]
+}
+
+// release returns every postings slice of the scratch index to the free
+// list, zeroing the entry pointers so retired slices pin nothing.
+func (s *JoinScratch[V]) release() {
+	for k, post := range s.index {
+		for i := range post {
+			post[i] = nil
+		}
+		s.free = append(s.free, post[:0])
+		delete(s.index, k)
+	}
+}
+
 // JoinWith is Join with a precomputed plan (which must have been built
 // from exactly left's and right's schemas).
 //
@@ -136,8 +241,18 @@ func Join[V any](r ring.Ring[V], left, right *Map[V]) *Map[V] {
 // same machinery (a single empty-key index bucket). Probe keys, output
 // keys, and output tuples are built in reused scratch buffers and only
 // materialized on first insertion, so re-grouped output tuples cost no
-// allocations beyond the ring product.
+// allocations beyond the ring product. Callers with a persistent index
+// on one side should prefer JoinProbeWith, which skips the build phase
+// entirely; repeated full joins can recycle the build-side index
+// allocation through JoinWithScratch.
 func JoinWith[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V]) *Map[V] {
+	return JoinWithScratch(plan, r, left, right, nil)
+}
+
+// JoinWithScratch is JoinWith with an optional caller-owned scratch for
+// the transient build-side index (nil allocates per call, preserving
+// JoinWith's behavior).
+func JoinWithScratch[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V], jsc *JoinScratch[V]) *Map[V] {
 	out := New[V](plan.out)
 	if left.Len() == 0 || right.Len() == 0 {
 		return out
@@ -151,13 +266,26 @@ func JoinWith[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V]) *Map[V
 		o = &plan.rev
 		swapped = true
 	}
-	fromBuild, srcPos := o.fromBuild, o.srcPos
 
-	index := make(map[string][]*entry[V], build.Len())
+	var index map[string][]*entry[V]
+	if jsc != nil {
+		if jsc.index == nil {
+			jsc.index = make(map[string][]*entry[V], build.Len())
+		}
+		index = jsc.index
+		defer jsc.release()
+	} else {
+		index = make(map[string][]*entry[V], build.Len())
+	}
 	var kbuf []byte
 	for _, e := range build.data {
 		kbuf = e.tuple.AppendEncodeProject(kbuf[:0], o.buildCommon)
-		index[string(kbuf)] = append(index[string(kbuf)], e)
+		post := index[string(kbuf)]
+		if post == nil && jsc != nil && len(jsc.free) > 0 {
+			post = jsc.free[len(jsc.free)-1]
+			jsc.free = jsc.free[:len(jsc.free)-1]
+		}
+		index[string(kbuf)] = append(post, e)
 	}
 
 	sc := scratchOf(r)
@@ -169,63 +297,58 @@ func JoinWith[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V]) *Map[V
 		if len(matches) == 0 {
 			continue
 		}
-		for _, be := range matches {
-			// Left payload first, preserving any non-commutative key
-			// orientation (the build side is left when swapped).
-			a, b := pe.payload, be.payload
-			if swapped {
-				a, b = be.payload, pe.payload
-			}
-			obuf = obuf[:0]
-			for i, fb := range fromBuild {
-				if fb {
-					obuf = be.tuple[srcPos[i]].AppendEncode(obuf)
-				} else {
-					obuf = pe.tuple[srcPos[i]].AppendEncode(obuf)
-				}
-			}
-			if e, ok := out.data[string(obuf)]; ok {
-				// Duplicate output tuple: fold a×b into the owned
-				// accumulator without materializing the product when the
-				// ring supports it.
-				var s V
-				if fma != nil && !e.shared {
-					s = fma.MulAddInto(e.payload, a, b)
-				} else {
-					p := r.Mul(a, b)
-					if r.IsZero(p) {
-						continue
-					}
-					if sc != nil && !e.shared {
-						s = sc.AddInto(e.payload, p)
-					} else {
-						s = r.Add(e.payload, p)
-					}
-				}
-				if r.IsZero(s) {
-					delete(out.data, string(obuf))
-				} else {
-					e.payload = s
-					e.shared = false
-				}
-				continue
-			}
-			p := r.Mul(a, b)
-			if r.IsZero(p) {
-				continue
-			}
-			// First hit for this output tuple: materialize it (the Mul
-			// result p is fresh, so the entry owns it already).
-			t := make(value.Tuple, len(fromBuild))
-			for i, fb := range fromBuild {
-				if fb {
-					t[i] = be.tuple[srcPos[i]]
-				} else {
-					t[i] = pe.tuple[srcPos[i]]
-				}
-			}
-			out.data[string(obuf)] = &entry[V]{tuple: t, payload: p}
+		obuf = joinMatches(out, r, sc, fma, o, swapped, pe, matches, obuf)
+	}
+	return out
+}
+
+// JoinProbeWith is JoinWith when the larger side carries a persistent
+// index on the join's common key (AddIndex with the plan's
+// Left/RightIndexKey): it iterates only the smaller side — the delta,
+// in the maintenance paths — and looks matches up in the index, so the
+// cost is O(|small| + |matches|) instead of the build-and-scan join's
+// O(|large|). When the larger side has no matching index it falls back
+// to JoinWith. Both paths visit the same multiset of payload products
+// in the same left-first per-pair order, so results are bit-identical
+// whenever ring addition is exact (integer rings, float rings over
+// integer-valued data — the same scope as the parallel path's
+// guarantee, see view.Tree.SetParallelism): the two paths iterate
+// opposite sides, which can group an output key's float64 additions
+// differently in the last bits on inexact data.
+func JoinProbeWith[V any](plan *JoinPlan, r ring.Ring[V], left, right *Map[V]) *Map[V] {
+	if left.Len() == 0 || right.Len() == 0 {
+		return New[V](plan.out)
+	}
+	// Iterate the smaller side, probe the larger side's index. Note the
+	// iteration side is the OPPOSITE of JoinWith's (which indexes the
+	// smaller side and iterates the larger) — same matches and products,
+	// different accumulation grouping; see the doc comment's exact-ring
+	// scope for what that means on inexact float data.
+	outer, inner := left, right
+	o := &plan.fwd
+	swapped := false
+	if right.Len() < left.Len() {
+		outer, inner = right, left
+		o = &plan.rev
+		swapped = true
+	}
+	idx := inner.indexOn(o.buildCommon)
+	if idx == nil {
+		return JoinWith(plan, r, left, right)
+	}
+	idx.ensure(inner) // first probe materializes a lazily registered index
+	out := New[V](plan.out)
+	sc := scratchOf(r)
+	fma, _ := r.(ring.FMA[V])
+	var arr [64]byte
+	kbuf, obuf := arr[:0], []byte(nil)
+	for _, pe := range outer.data {
+		kbuf = pe.tuple.AppendEncodeProject(kbuf[:0], o.probeCommon)
+		matches := idx.lookup(kbuf)
+		if len(matches) == 0 {
+			continue
 		}
+		obuf = joinMatches(out, r, sc, fma, o, swapped, pe, matches, obuf)
 	}
 	return out
 }

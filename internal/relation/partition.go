@@ -29,6 +29,11 @@ func fnv1a[T string | []byte](b T) uint64 {
 // immutable under ring operations and partitions are read-only). Their
 // union is exactly m. Slots for which no tuple hashes may be empty
 // relations; callers typically skip those.
+//
+// Partition fills run below the index-maintenance layer, so an indexed
+// map must never be used as a destination slot — PartitionInto panics
+// on one rather than leave a registered index silently out of sync
+// with the refilled contents.
 func (m *Map[V]) Partition(n int, keyIdx []int) []*Map[V] {
 	if n < 1 {
 		n = 1
@@ -46,6 +51,12 @@ func (m *Map[V]) PartitionInto(out []*Map[V], keyIdx []int) []*Map[V] {
 		if p == nil || !p.schema.Equal(m.schema) {
 			out[i] = New[V](m.schema)
 		} else {
+			if len(p.indexes) != 0 {
+				// Partition fills write entries directly, bypassing index
+				// maintenance; a probed-but-stale index would silently
+				// drop join matches, so refuse indexed slots outright.
+				panic("relation: PartitionInto destination slot has registered indexes")
+			}
 			p.Reset()
 		}
 	}

@@ -92,3 +92,20 @@ func TestPartitionKeyIgnoresForeignAttrs(t *testing.T) {
 		t.Fatalf("full-tuple fallback lost tuples: %d vs %d", total, m.Len())
 	}
 }
+
+// TestPartitionIntoRejectsIndexedSlot: partition fills bypass index
+// maintenance, so an indexed destination slot must be refused instead
+// of silently desynchronizing its index.
+func TestPartitionIntoRejectsIndexedSlot(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](value.NewSchema("A", "B"))
+	m.Merge(z, value.T(1, 2), 1)
+	bad := New[int64](value.NewSchema("A", "B"))
+	bad.AddIndex([]int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indexed partition slot")
+		}
+	}()
+	m.PartitionInto([]*Map[int64]{bad}, nil)
+}

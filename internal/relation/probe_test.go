@@ -1,0 +1,351 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// checkIndexConsistency asserts every registered index of m holds
+// exactly the live entries of m: each entry appears exactly once under
+// its projected key, and total postings equal Len. This is the
+// invariant incremental maintenance (Merge/MergeAll/Set) must
+// preserve through inserts, in-place updates, and annihilations.
+func checkIndexConsistency[V any](t *testing.T, m *Map[V]) {
+	t.Helper()
+	for _, ix := range m.indexes {
+		if !ix.built {
+			continue
+		}
+		total := 0
+		for key, p := range ix.data {
+			if len(p.entries) == 0 {
+				t.Fatalf("index %v holds empty bucket %q", ix.proj, key)
+			}
+			total += len(p.entries)
+			for i, pe := range p.entries {
+				if got, ok := ix.pos[pe]; !ok || got.i != i || got.p != p {
+					t.Fatalf("index %v: entry %v at slot %d has pos %+v (present=%v)", ix.proj, pe.tuple, i, got, ok)
+				}
+			}
+		}
+		if total != m.Len() {
+			t.Fatalf("index %v holds %d postings, map holds %d entries", ix.proj, total, m.Len())
+		}
+		if len(ix.pos) != total {
+			t.Fatalf("index %v position map holds %d entries, postings hold %d", ix.proj, len(ix.pos), total)
+		}
+		var kbuf []byte
+		for _, e := range m.data {
+			kbuf = e.tuple.AppendEncodeProject(kbuf[:0], ix.proj)
+			found := 0
+			for _, pe := range ix.lookup(kbuf) {
+				if pe == e {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("index %v lists entry %v %d times, want 1", ix.proj, e.tuple, found)
+			}
+		}
+	}
+}
+
+// probeRing bundles one ring kind with a payload generator for the
+// equivalence property test. Generators produce integer-valued payloads
+// so float arithmetic stays exact and "bit-identical" is literal.
+type probeRing[V any] struct {
+	ring ring.Ring[V]
+	gen  func(rnd *rand.Rand) V
+	// genRight overrides gen for the right relation's payloads; rings
+	// with structured products (ranged COVAR multiplies only adjacent
+	// attribute ranges) need side-specific payloads. nil means gen.
+	genRight func(rnd *rand.Rand) V
+}
+
+// runProbeEquivalence drives the property: for random indexed relations
+// and random deltas (inserts, updates, and full annihilations merged
+// through the incremental index maintenance), JoinProbeWith equals
+// JoinWith bit-for-bit, in both probe orientations, and the indexes
+// stay consistent with the primary map throughout.
+func runProbeEquivalence[V any](t *testing.T, pr probeRing[V]) {
+	t.Helper()
+	r := pr.ring
+	sAB := value.NewSchema("A", "B")
+	sBC := value.NewSchema("B", "C")
+	plan := PlanJoin(sAB, sBC)
+	eq := func(a, b V) bool { return reflect.DeepEqual(a, b) }
+	rnd := rand.New(rand.NewSource(7))
+	genRight := pr.genRight
+	if genRight == nil {
+		genRight = pr.gen
+	}
+
+	fill := func(m *Map[V], n int, gen func(rnd *rand.Rand) V) {
+		for i := 0; i < n; i++ {
+			tp := value.T(rnd.Intn(5), rnd.Intn(5))
+			m.Merge(r, tp, gen(rnd))
+		}
+	}
+	annihilate := func(m *Map[V], frac float64) {
+		// Cancel a fraction of live entries exactly, exercising the
+		// posting-removal path (payload reaches the ring zero).
+		var doomed []value.Tuple
+		var payloads []V
+		m.Each(func(tp value.Tuple, p V) {
+			if rnd.Float64() < frac {
+				doomed = append(doomed, tp)
+				payloads = append(payloads, p)
+			}
+		})
+		for i, tp := range doomed {
+			m.Merge(r, tp, r.Neg(payloads[i]))
+		}
+	}
+
+	for iter := 0; iter < 60; iter++ {
+		// Uneven sizes so both probe orientations (index on the left,
+		// index on the right) come up across iterations.
+		left, right := New[V](sAB), New[V](sBC)
+		left.AddIndex(plan.LeftIndexKey())
+		right.AddIndex(plan.RightIndexKey())
+		if iter%2 == 0 {
+			// Materialize up front so the fills and annihilations below
+			// exercise incremental maintenance; odd iterations leave the
+			// lazy build to the first probe inside JoinProbeWith.
+			left.indexOn(plan.LeftIndexKey()).ensure(left)
+			right.indexOn(plan.RightIndexKey()).ensure(right)
+		}
+		fill(left, 1+rnd.Intn(40), pr.gen)
+		fill(right, 1+rnd.Intn(40), genRight)
+		annihilate(left, 0.3)
+		annihilate(right, 0.3)
+		fill(right, rnd.Intn(10), genRight) // reinsert over annihilated keys
+
+		checkIndexConsistency(t, left)
+		checkIndexConsistency(t, right)
+
+		want := JoinWith(plan, r, left, right)
+		got := JoinProbeWith(plan, r, left, right)
+		if !got.Equal(want, eq) {
+			t.Fatalf("iter %d: JoinProbeWith diverged from JoinWith\nprobe: %v\nscan:  %v", iter, got, want)
+		}
+		// The probe built any lazily pending index; it must be consistent
+		// with the live entries too.
+		checkIndexConsistency(t, left)
+		checkIndexConsistency(t, right)
+	}
+}
+
+// TestQuickProbeEquivalenceAllKinds runs the probe/scan equivalence
+// property over the six ring kinds the engines instantiate: Z counts,
+// float sums, scalar COVAR, ranged COVAR, the mixed-feature RelCovar,
+// and the (non-commutative) relational ring.
+func TestQuickProbeEquivalenceAllKinds(t *testing.T) {
+	t.Run("ints", func(t *testing.T) {
+		runProbeEquivalence(t, probeRing[int64]{ring: ring.Ints{}, gen: func(rnd *rand.Rand) int64 {
+			return int64(rnd.Intn(9) - 4)
+		}})
+	})
+	t.Run("floats", func(t *testing.T) {
+		runProbeEquivalence(t, probeRing[float64]{ring: ring.Floats{}, gen: func(rnd *rand.Rand) float64 {
+			return float64(rnd.Intn(9) - 4)
+		}})
+	})
+	t.Run("covar", func(t *testing.T) {
+		r := ring.NewCovarRing(2)
+		runProbeEquivalence(t, probeRing[*ring.Covar]{ring: r, gen: func(rnd *rand.Rand) *ring.Covar {
+			p := r.Lift(rnd.Intn(2))(value.Int(int64(rnd.Intn(5) - 2)))
+			if rnd.Intn(2) == 0 {
+				return r.Neg(p)
+			}
+			return p
+		}})
+	})
+	t.Run("rangedcovar", func(t *testing.T) {
+		// Ranged payloads add only within one attribute range and
+		// multiply only across adjacent ranges (the view-tree product
+		// structure), so the left side lifts attribute 0 and the right
+		// side attribute 1.
+		r := ring.RangedCovarRing{}
+		lifted := func(idx int) func(rnd *rand.Rand) *ring.RangedCovar {
+			return func(rnd *rand.Rand) *ring.RangedCovar {
+				p := r.Lift(idx)(value.Int(int64(rnd.Intn(5) - 2)))
+				if rnd.Intn(2) == 0 {
+					return r.Neg(p)
+				}
+				return p
+			}
+		}
+		runProbeEquivalence(t, probeRing[*ring.RangedCovar]{ring: r, gen: lifted(0), genRight: lifted(1)})
+	})
+	t.Run("relcovar", func(t *testing.T) {
+		r := ring.NewRelCovarRing(2)
+		lifts := []ring.Lift[*ring.RelCovar]{r.LiftContinuous(0), r.LiftCategorical(1)}
+		runProbeEquivalence(t, probeRing[*ring.RelCovar]{ring: r, gen: func(rnd *rand.Rand) *ring.RelCovar {
+			p := lifts[rnd.Intn(2)](value.Int(int64(rnd.Intn(4))))
+			if rnd.Intn(2) == 0 {
+				return r.Neg(p)
+			}
+			return p
+		}})
+	})
+	t.Run("relational", func(t *testing.T) {
+		r := ring.Relational{}
+		runProbeEquivalence(t, probeRing[ring.RelVal]{ring: r, gen: func(rnd *rand.Rand) ring.RelVal {
+			return ring.RelSingle(value.T(rnd.Intn(4)), float64(rnd.Intn(5)-2))
+		}})
+	})
+}
+
+// TestJoinProbeFallsBackWithoutIndex: an unindexed large side must
+// produce the same join through the build-and-scan fallback.
+func TestJoinProbeFallsBackWithoutIndex(t *testing.T) {
+	z := ring.Ints{}
+	sAB := value.NewSchema("A", "B")
+	sBC := value.NewSchema("B", "C")
+	plan := PlanJoin(sAB, sBC)
+	left, right := New[int64](sAB), New[int64](sBC)
+	for i := 0; i < 20; i++ {
+		left.Merge(z, value.T(i, i%3), 1)
+		right.Merge(z, value.T(i%3, i), int64(i))
+	}
+	if left.IndexCount() != 0 || right.IndexCount() != 0 {
+		t.Fatal("fixture should be unindexed")
+	}
+	got := JoinProbeWith(plan, z, left, right)
+	want := JoinWith(plan, z, left, right)
+	if !got.Equal(want, func(a, b int64) bool { return a == b }) {
+		t.Fatalf("fallback diverged:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// TestAddIndexDedup: registering the same projection twice keeps one
+// index; a different projection adds a second.
+func TestAddIndexDedup(t *testing.T) {
+	m := New[int64](value.NewSchema("A", "B"))
+	m.AddIndex([]int{1})
+	m.AddIndex([]int{1})
+	if m.IndexCount() != 1 {
+		t.Fatalf("IndexCount = %d after duplicate registration, want 1", m.IndexCount())
+	}
+	m.AddIndex([]int{0, 1})
+	if m.IndexCount() != 2 {
+		t.Fatalf("IndexCount = %d, want 2", m.IndexCount())
+	}
+}
+
+// TestAddIndexBuildsFromContents: an index registered on a populated
+// relation materializes from the live contents on first use and is
+// consistent from then on.
+func TestAddIndexBuildsFromContents(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](value.NewSchema("A", "B"))
+	for i := 0; i < 30; i++ {
+		m.Merge(z, value.T(i, i%4), 1)
+	}
+	m.AddIndex([]int{1})
+	m.indexOn([]int{1}).ensure(m)
+	checkIndexConsistency(t, m)
+	// Reset keeps the registration, empties the postings.
+	m.Reset()
+	if m.IndexCount() != 1 {
+		t.Fatal("Reset dropped the index registration")
+	}
+	checkIndexConsistency(t, m)
+	m.Merge(z, value.T(1, 2), 5)
+	checkIndexConsistency(t, m)
+}
+
+// TestSetMaintainsIndexes: the Set path (snapshot restore) inserts
+// postings like Merge does; replacing a payload leaves them untouched.
+func TestSetMaintainsIndexes(t *testing.T) {
+	m := New[int64](value.NewSchema("A"))
+	m.AddIndex([]int{0})
+	m.indexOn([]int{0}).ensure(m)
+	m.Set(value.T(1), 10)
+	m.Set(value.T(1), 20) // in-place replace, no index churn
+	m.Set(value.T(2), 30)
+	checkIndexConsistency(t, m)
+	if got, _ := m.Get(value.T(1)); got != 20 {
+		t.Fatalf("payload = %d, want 20", got)
+	}
+}
+
+// TestAddIndexRejectsBadPositions documents the programming-error panic.
+func TestAddIndexRejectsBadPositions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index position")
+		}
+	}()
+	New[int64](value.NewSchema("A")).AddIndex([]int{3})
+}
+
+// TestJoinWithScratchReuse: the scratch-backed join is bit-identical to
+// the allocating one across repeated calls, and the scratch's recycled
+// postings do not leak entries between calls.
+func TestJoinWithScratchReuse(t *testing.T) {
+	z := ring.Ints{}
+	sAB := value.NewSchema("A", "B")
+	sBC := value.NewSchema("B", "C")
+	plan := PlanJoin(sAB, sBC)
+	var jsc JoinScratch[int64]
+	rnd := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		left, right := New[int64](sAB), New[int64](sBC)
+		for i := 0; i < rnd.Intn(30); i++ {
+			left.Merge(z, value.T(rnd.Intn(4), rnd.Intn(4)), int64(rnd.Intn(5)-2))
+		}
+		for i := 0; i < rnd.Intn(30); i++ {
+			right.Merge(z, value.T(rnd.Intn(4), rnd.Intn(4)), int64(rnd.Intn(5)-2))
+		}
+		want := JoinWith(plan, z, left, right)
+		got := JoinWithScratch(plan, z, left, right, &jsc)
+		if !got.Equal(want, func(a, b int64) bool { return a == b }) {
+			t.Fatalf("iter %d: scratch join diverged:\n%v\nvs\n%v", iter, got, want)
+		}
+		if len(jsc.index) != 0 {
+			t.Fatalf("iter %d: scratch index not released (%d keys)", iter, len(jsc.index))
+		}
+		for _, post := range jsc.free {
+			if len(post) != 0 {
+				t.Fatalf("iter %d: free-list slice not emptied", iter)
+			}
+			for _, e := range post[:cap(post)] {
+				if e != nil {
+					t.Fatalf("iter %d: retired postings slice pins an entry", iter)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeAsymptotics is a coarse guard on the point of the index: the
+// work of a single-tuple probe against an indexed relation must not
+// scale with the relation's size. It counts probed matches indirectly
+// by asserting equal results while sizing the big side up 100x; the
+// real latency guard lives in the perf suite's UpdateLatencyScaling.
+func TestProbeAsymptotics(t *testing.T) {
+	z := ring.Ints{}
+	sAB := value.NewSchema("A", "B")
+	sBC := value.NewSchema("B", "C")
+	plan := PlanJoin(sAB, sBC)
+	for _, n := range []int{100, 10_000} {
+		big := New[int64](sBC)
+		big.AddIndex(plan.RightIndexKey())
+		for i := 0; i < n; i++ {
+			big.Merge(z, value.T(i%50, i), 1)
+		}
+		delta := New[int64](sAB)
+		delta.Merge(z, value.T(7, 13), 1)
+		out := JoinProbeWith(plan, z, delta, big)
+		// Key B=13 matches the n/50 tuples with that join key.
+		if out.Len() != n/50 {
+			t.Fatalf("n=%d: probe produced %d tuples, want %d", n, out.Len(), n/50)
+		}
+	}
+}

@@ -24,6 +24,12 @@ import (
 type Map[V any] struct {
 	schema value.Schema
 	data   map[string]*entry[V]
+	// indexes are the registered persistent join-key indexes (AddIndex),
+	// maintained by every mutation path. Empty for the vast majority of
+	// maps (deltas, join/aggregate outputs, scratch); the view tree
+	// registers them on the materialized views and source relations that
+	// delta propagation probes.
+	indexes []*index[V]
 }
 
 type entry[V any] struct {
@@ -52,9 +58,11 @@ func (m *Map[V]) Len() int { return len(m.data) }
 // allocated capacity, so scratch relations (per-engine delta buffers,
 // partition slots) can be refilled without reallocating. Entries handed
 // out earlier (e.g. payloads merged into another relation) are
-// unaffected: Reset only clears the container.
+// unaffected: Reset only clears the container. Registered indexes stay
+// registered and are emptied alongside the data.
 func (m *Map[V]) Reset() {
 	clear(m.data)
+	m.resetIndexes()
 }
 
 // Get returns the payload of tuple t and whether it is present.
@@ -86,7 +94,9 @@ func (m *Map[V]) Set(t value.Tuple, p V) {
 		e.shared = true
 		return
 	}
-	m.data[k] = &entry[V]{tuple: t, payload: p, shared: true}
+	e := &entry[V]{tuple: t, payload: p, shared: true}
+	m.data[k] = e
+	m.indexInsert(e)
 }
 
 // Merge adds payload p to tuple t's payload under ring r, removing the
@@ -103,6 +113,7 @@ func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
 		s := r.Add(e.payload, p)
 		if r.IsZero(s) {
 			delete(m.data, string(buf))
+			m.indexRemove(e)
 		} else {
 			e.payload = s
 			e.shared = true
@@ -110,7 +121,9 @@ func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
 		return
 	}
 	if !r.IsZero(p) {
-		m.data[string(buf)] = &entry[V]{tuple: t, payload: p, shared: true}
+		e := &entry[V]{tuple: t, payload: p, shared: true}
+		m.data[string(buf)] = e
+		m.indexInsert(e)
 	}
 }
 
@@ -127,11 +140,14 @@ func (m *Map[V]) MergeAll(r ring.Ring[V], other *Map[V]) {
 			s := r.Add(ex.payload, e.payload)
 			if r.IsZero(s) {
 				delete(m.data, k)
+				m.indexRemove(ex)
 			} else {
 				ex.payload = s
 			}
 		} else if !r.IsZero(e.payload) {
-			m.data[k] = &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
+			ne := &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
+			m.data[k] = ne
+			m.indexInsert(ne)
 		}
 	}
 }
@@ -160,7 +176,8 @@ func (m *Map[V]) EachSorted(fn func(t value.Tuple, p V)) {
 
 // Clone returns a copy with fresh entry structs; payloads are shared,
 // which is safe under the immutable-payload convention (stored payloads
-// are only ever replaced, never mutated).
+// are only ever replaced, never mutated). Secondary indexes are not
+// copied — re-register with AddIndex on the clone when needed.
 func (m *Map[V]) Clone() *Map[V] {
 	out := &Map[V]{schema: m.schema, data: make(map[string]*entry[V], len(m.data))}
 	for k, e := range m.data {

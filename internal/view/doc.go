@@ -56,6 +56,14 @@
 //   - Each node carries a build-time evaluation plan (join and
 //     aggregation schema geometry, resolved lift), so per-delta
 //     evaluation re-derives nothing.
+//   - Every part a delta can be joined against (sibling views, other
+//     anchored relations, other roots' views) carries a registered
+//     join-key index on exactly the common-key projection the node's
+//     plan probes it on; delta propagation joins via
+//     relation.JoinProbeWith, touching O(|delta|) state per node
+//     instead of scanning full views. Indexes build lazily on first
+//     probe and are maintained by the commit-phase merges; bulk loads
+//     re-register them after replacing the maps.
 //   - Values merged INTO views go through the pure ring Add — stored
 //     view payloads are immutable and may be shared with published
 //     snapshots; the in-place Scratch fast paths run only inside

@@ -1,0 +1,174 @@
+package view
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+	"repro/internal/vo"
+)
+
+// TestIndexRegistration: building a tree registers join-key indexes on
+// every probed part (sibling views and anchored relations), and bulk
+// loads — which replace the underlying maps — re-register them.
+func TestIndexRegistration(t *testing.T) {
+	tr, err := New(Spec[int64]{Ring: ring.Ints{}, Relations: parallelRels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countIndexed := func() (views, sources int) {
+		var walk func(n *Node[int64])
+		walk = func(n *Node[int64]) {
+			if n.view.IndexCount() > 0 {
+				views++
+			}
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+		for _, r := range tr.roots {
+			walk(r)
+		}
+		for _, s := range tr.sources {
+			if s.data.IndexCount() > 0 {
+				sources++
+			}
+		}
+		return
+	}
+	v0, s0 := countIndexed()
+	if v0 == 0 && s0 == 0 {
+		t.Fatal("tree construction registered no indexes")
+	}
+	// Init replaces every view and source map; the registrations must
+	// survive the swap.
+	if err := tr.Init(map[string][]value.Tuple{
+		"R": {value.T(1, 2)}, "S": {value.T(2, 3)}, "T": {value.T(3, 4)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v1, s1 := countIndexed()
+	if v1 != v0 || s1 != s0 {
+		t.Fatalf("bulk load changed index coverage: views %d->%d, sources %d->%d", v0, v1, s0, s1)
+	}
+}
+
+// TestIndexedDeltaMatchesRecompute: incrementally maintained views
+// (which run the JoinProbeWith path and the index-maintaining merges)
+// must stay bit-identical to a from-scratch bulk load of the same live
+// data — the strongest end-to-end check that index probes see exactly
+// the live entries.
+func TestIndexedDeltaMatchesRecompute(t *testing.T) {
+	build := func() *Tree[int64] {
+		tr, err := New(Spec[int64]{Ring: ring.Ints{}, Relations: parallelRels, Free: []string{"B"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	inc := build()
+	rnd := rand.New(rand.NewSource(11))
+	live := map[string][]value.Tuple{}
+	ups := randomStream(rnd, parallelRels, 500)
+	for i, u := range ups {
+		if err := inc.ApplyUpdates(ups[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+		if u.Mult > 0 {
+			live[u.Rel] = append(live[u.Rel], u.Tuple)
+		} else {
+			l := live[u.Rel]
+			for j, tp := range l {
+				if tp.Equal(u.Tuple) {
+					live[u.Rel] = append(l[:j], l[j+1:]...)
+					break
+				}
+			}
+		}
+		if i%100 != 99 {
+			continue
+		}
+		ref := build()
+		if err := ref.Init(live); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := treeState(inc), treeState(ref); got != want {
+			t.Fatalf("after %d updates, incremental state diverged from recompute:\n%s\nvs\n%s", i+1, got, want)
+		}
+	}
+}
+
+// TestIndexConcurrentProbeReads drives large batches through the
+// parallel path, where every propagate worker concurrently probes the
+// shared sibling-view and source-relation indexes. Run under -race (CI
+// does) this asserts index reads are safe during parallel propagation;
+// the state checks double as an indexed-vs-sequential equivalence
+// guard.
+func TestIndexConcurrentProbeReads(t *testing.T) {
+	rels := []vo.Rel{
+		{Name: "R", Schema: value.NewSchema("A", "B")},
+		{Name: "S", Schema: value.NewSchema("B", "C")},
+		{Name: "T", Schema: value.NewSchema("C", "D")},
+	}
+	seq, err := New(Spec[int64]{Ring: ring.Ints{}, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Spec[int64]{Ring: ring.Ints{}, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetParallelism(4, 1)
+	rnd := rand.New(rand.NewSource(23))
+	for round := 0; round < 6; round++ {
+		ups := randomStream(rnd, rels, 400)
+		if err := seq.ApplyUpdates(ups); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.ApplyUpdates(ups); err != nil {
+			t.Fatal(err)
+		}
+		if s, p := treeState(seq), treeState(par); s != p {
+			t.Fatalf("round %d: parallel indexed propagation diverged:\n%s\nvs\n%s", round, s, p)
+		}
+	}
+}
+
+// TestIndexedSnapshotRoundTrip: restoring a snapshot replaces the
+// source maps and re-derives the views; maintenance after the restore
+// must still run on consistent indexes.
+func TestIndexedSnapshotRoundTrip(t *testing.T) {
+	build := func() *Tree[int64] {
+		tr, err := New(Spec[int64]{Ring: ring.Ints{}, Relations: parallelRels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a := build()
+	rnd := rand.New(rand.NewSource(5))
+	if err := a.ApplyUpdates(randomStream(rnd, parallelRels, 200)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf, ring.IntCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	b := build()
+	if err := b.ReadSnapshot(&buf, ring.IntCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-restore maintenance exercises the re-registered indexes.
+	more := randomStream(rnd, parallelRels, 200)
+	if err := a.ApplyUpdates(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyUpdates(more); err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := treeState(a), treeState(b); sa != sb {
+		t.Fatalf("post-restore maintenance diverged:\n%s\nvs\n%s", sa, sb)
+	}
+}

@@ -102,7 +102,7 @@ func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node
 		steps = make([]*relation.Map[V], 0, len(path))
 	}
 	p := propagation[V]{steps: steps}
-	d := t.evalNode(path[0], path[0].parts(src.data, delta))
+	d := t.evalNodeDelta(path[0], path[0].parts(src.data, delta))
 	for i := 0; ; i++ {
 		p.steps = append(p.steps, d)
 		if d.Len() == 0 {
@@ -111,20 +111,17 @@ func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node
 		if i+1 == len(path) {
 			break
 		}
-		d = t.evalNode(path[i+1], path[i+1].parts(path[i].view, d))
+		d = t.evalNodeDelta(path[i+1], path[i+1].parts(path[i].view, d))
 	}
 	// d reached the root: join with the other root views (disconnected
 	// queries) and project to the result schema, replaying the root's
-	// build-time plan.
+	// build-time plan. Like the path steps this probes the other roots'
+	// persistent indexes rather than scanning their views.
 	dres := d
 	root := path[len(path)-1]
-	ji := 0
-	for _, r := range t.roots {
-		if r != root {
-			dres = relation.JoinWith(root.resJoins[ji], t.ring, dres, r.view)
-			ji++
-		}
-	}
+	t.eachResJoin(root, func(other *Node[V], plan *relation.JoinPlan) {
+		dres = relation.JoinProbeWith(plan, t.ring, dres, other.view)
+	})
 	p.dres = relation.AggregateWith(root.resAgg, t.ring, dres, nil)
 	return p
 }

@@ -188,6 +188,7 @@ func (t *Tree[V]) ReadSnapshot(r io.Reader, codec ring.Codec[V]) error {
 		t.refresh(root)
 	}
 	t.recomputeResult()
+	t.registerIndexes()
 	return nil
 }
 

@@ -130,6 +130,11 @@ type Tree[V any] struct {
 	updOrder  []string
 	propSteps []*relation.Map[V]
 	liveParts []*relation.Map[V]
+	// joinScratch recycles the build-side index of the full-recompute
+	// joins (refresh). Only the single-threaded bulk path touches it;
+	// delta propagation probes the persistent view indexes instead and
+	// its parallel workers must not share mutable scratch.
+	joinScratch relation.JoinScratch[V]
 
 	// one and negOne cache the ring's ±1, the payloads of single-tuple
 	// inserts and deletes. Sharing one value across many stored tuples
@@ -226,7 +231,61 @@ func New[V any](spec Spec[V]) (*Tree[V], error) {
 		}
 		root.resAgg = relation.PlanAggregate(acc, t.result.Schema(), "")
 	}
+	t.registerIndexes()
 	return t, nil
+}
+
+// registerIndexes declares every persistent join-key index the delta
+// path probes (see JoinProbeWith): on each node's parts — children
+// views and anchored relations — the projection of the common key the
+// node's build-time join plans probe that part on, and on each root
+// view the keys of the result-level joins of the other roots. Bulk
+// loads replace the underlying maps wholesale, so Init, InitWeighted,
+// and ReadSnapshot re-run this after rebuilding. Registration is cheap:
+// an index materializes lazily on its first probe, so declaring every
+// possible probe direction costs nothing for the directions a workload
+// never updates.
+func (t *Tree[V]) registerIndexes() {
+	for _, root := range t.roots {
+		t.registerNodeIndexes(root)
+	}
+	for _, root := range t.roots {
+		t.eachResJoin(root, func(other *Node[V], plan *relation.JoinPlan) {
+			other.view.AddIndex(plan.RightIndexKey())
+		})
+	}
+}
+
+// eachResJoin pairs each of root's result-level join plans with the
+// other root it joins, in the t.roots order the plans were built in
+// (New). Both the index registration and the propagation replay
+// (propagate's result step) iterate through here, so the
+// plan↔probed-view pairing cannot silently drift between them.
+func (t *Tree[V]) eachResJoin(root *Node[V], fn func(other *Node[V], plan *relation.JoinPlan)) {
+	ji := 0
+	for _, r := range t.roots {
+		if r != root {
+			fn(r, root.resJoins[ji])
+			ji++
+		}
+	}
+}
+
+func (t *Tree[V]) registerNodeIndexes(n *Node[V]) {
+	for _, c := range n.children {
+		t.registerNodeIndexes(c)
+	}
+	if len(n.joinPlans) == 0 {
+		return // single-part node: the delta replaces the only part, nothing is probed
+	}
+	parts := n.parts(nil, nil)
+	// The first join may probe either operand (whichever one the delta
+	// did not substitute); every later step accumulates the delta-sized
+	// relation on the left and probes the right part.
+	parts[0].AddIndex(n.joinPlans[0].LeftIndexKey())
+	for i, pl := range n.joinPlans {
+		parts[i+1].AddIndex(pl.RightIndexKey())
+	}
 }
 
 func (t *Tree[V]) buildNode(vn *vo.Node, parent *Node[V]) *Node[V] {
@@ -361,13 +420,46 @@ func (n *Node[V]) parts(exclude, repl *relation.Map[V]) []*relation.Map[V] {
 // multiplying by its lift. The schema geometry comes from the node's
 // build-time plan; parts must follow the node's fixed order (a delta
 // substitutes a part of identical schema, so the plan stays valid).
+// This is the full-recompute form (bulk refresh): build-and-scan joins
+// with the tree-owned scratch, so it must stay single-threaded.
 func (t *Tree[V]) evalNode(n *Node[V], parts []*relation.Map[V]) *relation.Map[V] {
 	if len(parts) == 0 {
 		return relation.New[V](n.keys)
 	}
 	j := parts[0]
 	for i, p := range parts[1:] {
-		j = relation.JoinWith(n.joinPlans[i], t.ring, j, p)
+		j = relation.JoinWithScratch(n.joinPlans[i], t.ring, j, p, &t.joinScratch)
+	}
+	return relation.AggregateWith(n.aggPlan, t.ring, j, n.liftFn)
+}
+
+// evalNodeDelta is evalNode for delta propagation: every join goes
+// through JoinProbeWith, so the delta-sized operand probes the
+// persistent join-key index of the full-size part instead of the part
+// being scanned — per-update maintenance work proportional to the
+// delta, not the database. Unindexed operands (the intermediate
+// accumulator when it ends up the larger side) fall back to the
+// build-and-scan join. Reads only the parts and immutable plans, never
+// the tree's shared scratch: safe for concurrent propagate workers.
+//
+// Scope of the O(|delta|) bound: the left fold keeps the node's fixed
+// part order, so the bound holds when the delta substitutes one of the
+// first two parts — always true for nodes with at most two parts (the
+// common shape: every node of the Retailer evaluation tree, for
+// instance, joins at most two parts). At a
+// node with three or more parts whose delta lands at position >= 2,
+// the first join still combines two full parts and costs what the
+// pre-index path did. Reordering the fold delta-first would fix that
+// corner but reorder the ring products, which the non-commutative
+// relational ring forbids; it needs per-position plans and a
+// commutativity marker.
+func (t *Tree[V]) evalNodeDelta(n *Node[V], parts []*relation.Map[V]) *relation.Map[V] {
+	if len(parts) == 0 {
+		return relation.New[V](n.keys)
+	}
+	j := parts[0]
+	for i, p := range parts[1:] {
+		j = relation.JoinProbeWith(n.joinPlans[i], t.ring, j, p)
 	}
 	return relation.AggregateWith(n.aggPlan, t.ring, j, n.liftFn)
 }
@@ -406,6 +498,7 @@ func (t *Tree[V]) Init(data map[string][]value.Tuple) error {
 		t.refresh(r)
 	}
 	t.recomputeResult()
+	t.registerIndexes()
 	return nil
 }
 
@@ -436,5 +529,6 @@ func (t *Tree[V]) InitWeighted(data map[string]*relation.Map[V]) error {
 		t.refresh(r)
 	}
 	t.recomputeResult()
+	t.registerIndexes()
 	return nil
 }

@@ -12,9 +12,11 @@
 //	fivm-bench -exp perf -json BENCH_dev.json [-bench regex] [-benchtime 100ms]
 //	fivm-bench compare [-max-rate-drop 0.15] [-max-alloc-growth 0.10] BENCH_baseline.json BENCH_dev.json
 //	fivm-bench scalingcheck [-max-growth 3] BENCH_dev.json
+//	fivm-bench loadgen -url http://localhost:8344 -duration 10s -concurrency 8 -write-ratio 0.5 [-json LOADGEN.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +24,7 @@ import (
 	"os/exec"
 	"regexp"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/perf"
@@ -33,6 +36,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scalingcheck" {
 		os.Exit(runScalingCheck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		os.Exit(runLoadgen(os.Args[2:]))
 	}
 
 	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all, or perf")
@@ -162,6 +168,49 @@ func runScalingCheck(args []string) int {
 	perf.WriteFindings(os.Stdout, findings, ok)
 	if !ok {
 		return 1
+	}
+	return 0
+}
+
+// runLoadgen drives mixed read/write HTTP traffic against a live
+// fivm-serve instance and reports throughput plus client-side latency
+// quantiles (internal/perf.RunLoadgen). The report always goes to
+// stdout; -json additionally writes it to a file, which is how the CI
+// serving smoke archives it next to BENCH_ci.json.
+func runLoadgen(args []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8344", "base URL of the fivm-serve instance")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 8, "number of client goroutines")
+	writeRatio := fs.Float64("write-ratio", 0.5, "fraction of requests that are POST /update (rest are GET /model)")
+	batch := fs.Int("batch", 8, "tuples per write request")
+	seed := fs.Int64("seed", 1, "RNG seed for the generated tuple stream")
+	jsonOut := fs.String("json", "", "also write the JSON report to this file")
+	fs.Parse(args)
+
+	rep, err := perf.RunLoadgen(perf.LoadgenConfig{
+		URL:         *url,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		WriteRatio:  *writeRatio,
+		BatchSize:   *batch,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

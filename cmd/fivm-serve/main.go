@@ -2,12 +2,16 @@
 // engine behind sharded batched ingestion and lock-free model
 // snapshots, exposed over HTTP/JSON.
 //
-//	POST /update    ingest tuple updates (?wait=1 for read-your-writes)
+//	POST /update    ingest tuple updates (?wait=1 for read-your-writes;
+//	                429 + Retry-After when an ingest queue is over the
+//	                high-watermark)
 //	GET  /predict   evaluate the latest ridge model (analysis engines)
 //	GET  /model     the published model, rendered per engine kind
-//	GET  /stats     serving + maintenance counters
+//	GET  /stats     serving + maintenance counters, snapshot version and
+//	                age, per-shard queue depths, shed counts
 //	GET  /viewtree  the maintained view tree
-//	GET  /healthz   liveness
+//	GET  /healthz   liveness + staleness
+//	GET  /metrics   Prometheus text exposition of the pipeline metrics
 //
 // The engine kind follows the workload definition (fivm.Open):
 //
@@ -68,7 +72,9 @@ func main() {
 	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
 	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
 	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
+	highWatermark := flag.Int("high-watermark", 0, "ingest queue depth at which /update sheds with 429 (0 = chan-cap)")
 	workers := flag.Int("workers", 0, "parallel delta-propagation workers (0 sequential, -1 = GOMAXPROCS, n >= 2 = n workers)")
+	trace := flag.Bool("trace", false, "log one structured line per batch and per snapshot publish")
 	flag.Parse()
 
 	cfg, initData, err := buildConfig(*db, *rows, *load, *engine, *queryFlag, *relationsFlag, *featuresFlag, *attrsFlag, label)
@@ -103,7 +109,11 @@ func main() {
 		log.Printf("loaded %d relations", len(initData))
 	}
 
-	srv, err := serve.New(eng, serve.Config{MaxBatch: *maxBatch, ChannelCap: *chanCap})
+	scfg := serve.Config{MaxBatch: *maxBatch, ChannelCap: *chanCap, HighWatermark: *highWatermark}
+	if *trace {
+		scfg.TraceLog = log.New(os.Stderr, "trace ", log.LstdFlags|log.Lmicroseconds)
+	}
+	srv, err := serve.New(eng, scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

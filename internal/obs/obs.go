@@ -1,0 +1,319 @@
+// Package obs is a dependency-free observability kernel for the
+// serving pipeline: atomic counters and gauges, fixed-bucket latency
+// histograms with quantile estimation, and a registry that renders
+// every registered series in the Prometheus text exposition format
+// (version 0.0.4) — hand-rolled so go.mod stays stdlib-only.
+//
+// Hot-path cost is the design constraint: Counter.Add, Gauge.Set, and
+// Histogram.Observe are a handful of atomic operations on
+// pre-registered series and allocate nothing (pinned by
+// TestMetricOpsAllocFree), so the maintenance pipeline records
+// per-batch timings without disturbing its zero-allocation steady
+// state. All formatting cost is paid by the scraper, never the writer.
+//
+// Series are registered once at setup through a Registry — there is no
+// dynamic label creation, which is what makes the write path
+// allocation-free. Func-backed variants (CounterFunc, GaugeFunc) read
+// state the owner already maintains (queue depths, snapshot age) at
+// scrape time only.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (Prometheus
+// "le"-style cumulative upper bounds) and keeps the running sum, from
+// which Quantile estimates p50/p99/p999 by linear interpolation within
+// the bucket holding the target rank. Observe is lock-free and
+// allocation-free; the bucket layout is fixed at construction.
+type Histogram struct {
+	bounds []float64 // ascending finite upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds an unregistered histogram over the given
+// ascending finite bucket upper bounds (see also Registry.NewHistogram).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (~20) and the loop is
+	// branch-predictable; sort.SearchFloat64s would cost a closure.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts, interpolating linearly inside the bucket that holds the
+// target rank — the same estimate Prometheus' histogram_quantile
+// computes. The error is bounded by the width of that bucket. Ranks
+// landing in the +Inf bucket clamp to the largest finite bound.
+// Returns NaN on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	var total uint64
+	cum := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			prev := uint64(0)
+			if i > 0 {
+				prev = cum[i-1]
+			}
+			inBucket := float64(c - prev)
+			if inBucket == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-float64(prev))/inBucket
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n exponentially growing bucket upper bounds
+// starting at start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LatencyBuckets is the standard duration layout: 1µs to ~4s in
+// doubling steps, in seconds.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 22) }
+
+// Registry holds registered series and renders them. Registration
+// happens at setup (methods may be called concurrently but typically
+// are not); scraping via WritePrometheus is safe at any time.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+type family struct {
+	name, typ, help string
+	series          []*series
+}
+
+type series struct {
+	labels string // pre-rendered pairs, e.g. `rel="R"`; may be ""
+	write  func(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, typ, help, labels string, write func(io.Writer, string, string)) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, &series{labels: labels, write: write})
+}
+
+// NewCounter registers and returns a counter series. labels are
+// pre-rendered Prometheus pairs (`rel="R"`) or "".
+func (r *Registry) NewCounter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, labels, help, c.Load)
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at scrape time — for cumulative state the owner already maintains.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) {
+	r.register(name, "counter", help, labels, func(w io.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %d\n", name, braced(labels), fn())
+	})
+}
+
+// NewGauge registers and returns an integer gauge series.
+func (r *Registry) NewGauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, labels, help, func() float64 { return float64(g.Load()) })
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time — queue depths, ages, and other instantaneous reads.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(name, "gauge", help, labels, func(w io.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %s\n", name, braced(labels), formatFloat(fn()))
+	})
+}
+
+// NewHistogram registers and returns a histogram series over the given
+// ascending finite bucket upper bounds.
+func (r *Registry) NewHistogram(name, labels, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, "histogram", help, labels, h.writeExposition)
+	return h
+}
+
+func (h *Histogram) writeExposition(w io.Writer, name, labels string) {
+	prefix := ""
+	if labels != "" {
+		prefix = labels + ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, prefix, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), cum)
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format: one # HELP and # TYPE header per family followed
+// by its series, in registration order (deterministic output).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cw := &countingWriter{w: w}
+	for _, f := range r.families {
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			s.write(cw, f.name, s.labels)
+		}
+		if cw.err != nil {
+			return cw.err
+		}
+	}
+	return cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.err = err
+	return n, err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,314 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadgenConfig drives RunLoadgen against a live fivm-serve instance.
+type LoadgenConfig struct {
+	// URL is the server's base URL, e.g. http://localhost:8344.
+	URL string
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Concurrency is the number of client goroutines.
+	Concurrency int
+	// WriteRatio in [0,1] is the fraction of requests that are
+	// POST /update; the rest are GET /model reads.
+	WriteRatio float64
+	// BatchSize is the number of tuples per write request.
+	BatchSize int
+	// Seed makes the generated tuple stream reproducible.
+	Seed int64
+}
+
+func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
+	if c.URL == "" {
+		return c, fmt.Errorf("loadgen: URL is required")
+	}
+	if c.WriteRatio < 0 || c.WriteRatio > 1 {
+		return c, fmt.Errorf("loadgen: write ratio %v outside [0,1]", c.WriteRatio)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	return c, nil
+}
+
+// LatencySummary is the client-observed latency distribution of one
+// request class, quantiles computed exactly over all samples.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// LoadgenReport is the machine-readable result of one loadgen run.
+type LoadgenReport struct {
+	URL             string         `json:"url"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Concurrency     int            `json:"concurrency"`
+	WriteRatio      float64        `json:"write_ratio"`
+	BatchSize       int            `json:"batch_size"`
+	Requests        uint64         `json:"requests"`
+	Writes          uint64         `json:"writes"`
+	Reads           uint64         `json:"reads"`
+	Errors          uint64         `json:"errors"`
+	StatusCounts    map[string]int `json:"status_counts"`
+	ThroughputRPS   float64        `json:"throughput_rps"`
+	UpdatesSent     uint64         `json:"updates_sent"`
+	WriteLatency    LatencySummary `json:"write_latency"`
+	ReadLatency     LatencySummary `json:"read_latency"`
+	// ServerIngested/ServerShed come from the final GET /stats.
+	ServerIngested uint64 `json:"server_ingested"`
+	ServerShed     uint64 `json:"server_shed"`
+	// MetricsValid reports whether the final GET /metrics parsed as
+	// Prometheus text exposition; MetricsSeries counts its samples.
+	MetricsValid  bool   `json:"metrics_valid"`
+	MetricsSeries int    `json:"metrics_series"`
+	MetricsError  string `json:"metrics_error,omitempty"`
+}
+
+// shardInfo is the slice of the /stats "shards" object loadgen needs:
+// the relation's tuple arity, so it can synthesize valid updates.
+type shardInfo struct {
+	Arity int `json:"arity"`
+}
+
+// RunLoadgen drives mixed read/write traffic against a live server and
+// reports client-side latency quantiles plus a server-side consistency
+// check (final /stats counters and /metrics parseability). Relations
+// and their arities are discovered from GET /stats, so the same
+// loadgen works against any hosted engine.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base := strings.TrimRight(cfg.URL, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	rels, err := discoverRelations(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	type worker struct {
+		writeNS, readNS []int64
+		updates         uint64
+		errors          uint64
+		statuses        map[int]int
+	}
+	workers := make([]worker, cfg.Concurrency)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := &workers[w]
+			me.statuses = make(map[int]int)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			var body bytes.Buffer
+			for !stop.Load() {
+				if rng.Float64() < cfg.WriteRatio {
+					rel := rels[rng.Intn(len(rels))]
+					body.Reset()
+					writeBatchJSON(&body, rng, rel.name, rel.arity, cfg.BatchSize)
+					t0 := time.Now()
+					resp, err := client.Post(base+"/update", "application/json", &body)
+					ns := time.Since(t0).Nanoseconds()
+					if err != nil {
+						me.errors++
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					me.writeNS = append(me.writeNS, ns)
+					me.statuses[resp.StatusCode]++
+					if resp.StatusCode == http.StatusAccepted {
+						me.updates += uint64(cfg.BatchSize)
+					}
+				} else {
+					t0 := time.Now()
+					resp, err := client.Get(base + "/model")
+					ns := time.Since(t0).Nanoseconds()
+					if err != nil {
+						me.errors++
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					me.readNS = append(me.readNS, ns)
+					me.statuses[resp.StatusCode]++
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadgenReport{
+		URL:             cfg.URL,
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     cfg.Concurrency,
+		WriteRatio:      cfg.WriteRatio,
+		BatchSize:       cfg.BatchSize,
+		StatusCounts:    make(map[string]int),
+	}
+	var writeNS, readNS []int64
+	for i := range workers {
+		w := &workers[i]
+		writeNS = append(writeNS, w.writeNS...)
+		readNS = append(readNS, w.readNS...)
+		rep.UpdatesSent += w.updates
+		rep.Errors += w.errors
+		for code, n := range w.statuses {
+			rep.StatusCounts[fmt.Sprintf("%d", code)] += n
+		}
+	}
+	rep.Writes = uint64(len(writeNS))
+	rep.Reads = uint64(len(readNS))
+	rep.Requests = rep.Writes + rep.Reads
+	rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.WriteLatency = summarize(writeNS)
+	rep.ReadLatency = summarize(readNS)
+
+	// Server-side consistency: final counters and a /metrics scrape that
+	// must parse as exposition format.
+	if ing, shed, err := fetchServerCounters(client, base); err == nil {
+		rep.ServerIngested, rep.ServerShed = ing, shed
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		rep.MetricsError = err.Error()
+	} else {
+		samples, perr := obs.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if perr != nil {
+			rep.MetricsError = perr.Error()
+		} else {
+			rep.MetricsValid = true
+			rep.MetricsSeries = len(samples)
+		}
+	}
+	return rep, nil
+}
+
+type relation struct {
+	name  string
+	arity int
+}
+
+// discoverRelations reads GET /stats and extracts each shard's name and
+// arity.
+func discoverRelations(client *http.Client, base string) ([]relation, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: discovering relations: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /stats = %d", resp.StatusCode)
+	}
+	var stats struct {
+		Shards map[string]shardInfo `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /stats: %w", err)
+	}
+	if len(stats.Shards) == 0 {
+		return nil, fmt.Errorf("loadgen: /stats reports no shards — is this a fivm-serve instance?")
+	}
+	rels := make([]relation, 0, len(stats.Shards))
+	for name, sh := range stats.Shards {
+		rels = append(rels, relation{name: name, arity: sh.Arity})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].name < rels[j].name })
+	return rels, nil
+}
+
+// writeBatchJSON renders one /update request body of n random integer
+// tuples for rel. A small value domain (64 per column) keeps join keys
+// overlapping so updates exercise real view maintenance, not just
+// inserts into disjoint groups.
+func writeBatchJSON(buf *bytes.Buffer, rng *rand.Rand, rel string, arity, n int) {
+	buf.WriteString(`{"updates":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(buf, `{"rel":%q,"tuple":[`, rel)
+		for j := 0; j < arity; j++ {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(buf, "%d", rng.Intn(64))
+		}
+		buf.WriteString("]}")
+	}
+	buf.WriteString("]}")
+}
+
+func fetchServerCounters(client *http.Client, base string) (ingested, shed uint64, err error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Ingested uint64 `json:"ingested"`
+		Shed     uint64 `json:"shed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, 0, err
+	}
+	return stats.Ingested, stats.Shed, nil
+}
+
+// summarize computes exact quantiles over the collected samples.
+func summarize(ns []int64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var sum float64
+	for _, v := range ns {
+		sum += float64(v)
+	}
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	return LatencySummary{
+		Count:  len(ns),
+		MeanNS: sum / float64(len(ns)),
+		P50NS:  at(0.50),
+		P99NS:  at(0.99),
+		P999NS: at(0.999),
+		MaxNS:  ns[len(ns)-1],
+	}
+}

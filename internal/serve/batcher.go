@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/view"
 )
@@ -21,8 +22,16 @@ import (
 func (s *Server) runBatcher(sh *shard) {
 	defer s.batchers.Done()
 	for msg := range sh.ch {
+		// The first message is the flush's oldest — its wait bounds the
+		// batcher-induced queueing latency for the whole flush.
+		wait := time.Since(msg.at)
 		ups, wgs, chClosed := sh.collect(msg, s.cfg.MaxBatch)
+		s.met.batcherWait.Observe(wait.Seconds())
+		s.met.batchRaw.Observe(float64(len(ups)))
+		t0 := time.Now()
 		delta, err := s.eng.BuildDelta(sh.rel, ups)
+		build := time.Since(t0)
+		s.met.stageBuild.Observe(build.Seconds())
 		if err != nil {
 			// Unreachable: the relation was validated at Ingest and the
 			// updates carry no schema. Release waiters and drop.
@@ -31,7 +40,7 @@ func (s *Server) runBatcher(sh *shard) {
 			}
 			continue
 		}
-		s.batches <- batch{rel: sh.rel, delta: delta, raw: len(ups), wgs: wgs}
+		s.batches <- batch{rel: sh.rel, delta: delta, raw: len(ups), wgs: wgs, wait: wait, build: build}
 		if chClosed {
 			return
 		}
@@ -121,7 +130,11 @@ func (s *Server) runWriter() {
 // applyBatch applies one delta to the engine and returns the waiters to
 // release after the next publish.
 func (s *Server) applyBatch(b batch) []*sync.WaitGroup {
-	if err := s.eng.ApplyBuilt(b.rel, b.delta); err != nil {
+	t0 := time.Now()
+	err := s.eng.ApplyBuilt(b.rel, b.delta)
+	apply := time.Since(t0)
+	s.met.stageApply.Observe(apply.Seconds())
+	if err != nil {
 		s.nApplyErrs++
 		s.lastErr = err.Error()
 	} else {
@@ -130,5 +143,9 @@ func (s *Server) applyBatch(b batch) []*sync.WaitGroup {
 	s.nBatches++
 	s.nApplied += uint64(b.raw)
 	s.dirty = true
+	if s.cfg.TraceLog != nil {
+		s.cfg.TraceLog.Printf("batch rel=%s raw=%d delta=%d wait=%s build=%s apply=%s err=%v",
+			b.rel, b.raw, b.delta.Len(), b.wait, b.build, apply, err != nil)
+	}
 	return b.wgs
 }

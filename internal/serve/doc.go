@@ -50,4 +50,31 @@
 // escapes to the writer, is fresh per round. batcher_test.go pins this
 // with testing.AllocsPerRun; docs/PERF.md documents the repository-wide
 // scratch-buffer contract.
+//
+// # Observability
+//
+// Every stage of the write path is instrumented with internal/obs
+// metrics and exposed as Prometheus text exposition via
+// Server.WriteMetrics (GET /metrics on the HTTP surface): ingest queue
+// depth/capacity per shard, batch size and batcher wait, per-stage
+// latency histograms for delta build, apply, and snapshot publish,
+// snapshot version and age, and per-route HTTP latency/status
+// counters. The instrumentation follows the same zero-allocation
+// discipline as the pipeline itself — all series are pre-registered at
+// construction and hot-path recording is atomic-only (pinned by
+// TestPipelineInstrumentationAllocFree). Config.TraceLog optionally
+// emits one structured line per batch and per publish carrying the
+// same spans (wait/build/apply, publish duration).
+//
+// # Admission control
+//
+// Ingest sheds load instead of blocking once any target shard's queue
+// reaches Config.HighWatermark (default: channel capacity): it returns
+// *OverloadError without enqueueing anything — all-or-nothing, so a
+// multi-relation batch is never partially admitted — and the HTTP
+// layer maps that to 429 with a Retry-After header. Shed counts are
+// reported by Stats, /stats, /healthz, and /metrics. The check is
+// advisory under concurrency (two racing ingests may both pass and one
+// then block briefly on the channel send), which keeps the admission
+// path lock-free.
 package serve

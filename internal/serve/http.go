@@ -2,9 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/value"
 	"repro/internal/view"
@@ -17,24 +19,61 @@ import (
 //
 //	POST /update    {"updates":[{"rel":"R","tuple":[1,2.5,"x"],"mult":1}]}
 //	                ?wait=1 blocks until the batch is applied and a
-//	                snapshot reflecting it is published
+//	                snapshot reflecting it is published; 429 +
+//	                Retry-After when a target ingest queue is over the
+//	                high-watermark
 //	GET  /predict   ?attr=value&... one query parameter per feature
 //	                (analysis engines with a label only)
 //	GET  /model     the published model, rendered per engine kind
-//	GET  /stats     serving + maintenance counters
+//	GET  /stats     serving + maintenance counters, snapshot version and
+//	                age, per-shard queue depths, shed/accepted counts
 //	GET  /viewtree  the maintained view tree (text)
-//	GET  /healthz   liveness
+//	GET  /healthz   liveness + staleness (snapshot version/age, queues)
+//	GET  /metrics   Prometheus text exposition of the pipeline metrics
+//
+// Every route is instrumented with a latency histogram and
+// status-class counters (fivm_http_request_seconds,
+// fivm_http_requests_total).
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /predict", s.handlePredict)
-	mux.HandleFunc("GET /model", s.handleModel)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /viewtree", s.handleViewTree)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "kind": s.Kind(), "version": s.Snapshot().Version})
-	})
+	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("GET /predict", s.instrument("/predict", s.handlePredict))
+	mux.HandleFunc("GET /model", s.instrument("/model", s.handleModel))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /viewtree", s.instrument("/viewtree", s.handleViewTree))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
+}
+
+// statusRecorder captures the response code for the status-class
+// counters; handlers that never call WriteHeader implicitly return 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the route's pre-registered latency
+// histogram and status counters.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.met.httpLat[route]
+	codes := s.met.httpCodes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(&rec, r)
+		hist.Observe(time.Since(t0).Seconds())
+		class := rec.code/100 - 2
+		if class < 0 || class >= len(codeClasses) {
+			class = len(codeClasses) - 1
+		}
+		codes[class].Inc()
+	}
 }
 
 type updateJSON struct {
@@ -75,11 +114,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	done, err := s.Ingest(ups)
 	if err != nil {
-		code := http.StatusBadRequest
-		if err == ErrClosed {
-			code = http.StatusServiceUnavailable
+		var oe *OverloadError
+		switch {
+		case errors.As(err, &oe):
+			// Backpressure, not failure: tell the client when to come
+			// back instead of blocking its connection behind the backlog.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
 		}
-		writeErr(w, code, err)
 		return
 	}
 	applied := false
@@ -135,18 +181,50 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
+	snap := s.Snapshot()
+	var coalesce float64
+	if st.Applied > 0 {
+		coalesce = float64(st.DeltaTuples) / float64(st.Applied)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"kind":              s.Kind(),
-		"ingested":          st.Ingested,
-		"applied":           st.Applied,
-		"batches":           st.Batches,
-		"delta_tuples":      st.DeltaTuples,
-		"snapshots":         st.Snapshots,
-		"apply_errors":      st.ApplyErrors,
-		"last_error":        st.LastError,
-		"view_updates":      st.View.Updates,
-		"view_delta_tuples": st.View.DeltaTuples,
+		"kind":                 s.Kind(),
+		"ingested":             st.Ingested,
+		"applied":              st.Applied,
+		"shed":                 st.Shed,
+		"batches":              st.Batches,
+		"delta_tuples":         st.DeltaTuples,
+		"coalesce_ratio":       coalesce,
+		"snapshots":            st.Snapshots,
+		"snapshot_version":     snap.Version,
+		"snapshot_age_seconds": time.Since(snap.At).Seconds(),
+		"apply_errors":         st.ApplyErrors,
+		"last_error":           st.LastError,
+		"view_updates":         st.View.Updates,
+		"view_delta_tuples":    st.View.DeltaTuples,
+		"shards":               s.Shards(),
 	})
+}
+
+// handleHealthz is the liveness-and-staleness probe: snapshot version
+// and age plus queue depths and shed counts, so a health check detects
+// a stalled writer or an overloaded shard without scraping /metrics.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":                   true,
+		"kind":                 s.Kind(),
+		"version":              snap.Version,
+		"snapshot_age_seconds": time.Since(snap.At).Seconds(),
+		"ingested":             s.ingested.Load(),
+		"shed":                 s.shed.Load(),
+		"shards":               s.Shards(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
 }
 
 func (s *Server) handleViewTree(w http.ResponseWriter, r *http.Request) {

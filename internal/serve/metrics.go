@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// httpRoutes are the handler paths NewHandler instruments with a
+// latency histogram and per-status-class counters. Routes are a fixed
+// set so every series pre-registers at construction — recording stays
+// allocation-free.
+var httpRoutes = []string{"/update", "/predict", "/model", "/stats", "/viewtree", "/healthz", "/metrics"}
+
+// codeClasses label HTTP status counters; a response's class is
+// status/100 mapped onto this array (3xx folds into the index after
+// 2xx, and anything outside 2xx–5xx clamps to 5xx).
+var codeClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// pipelineMetrics is the serving pipeline's metric surface, exposed on
+// GET /metrics. Counters that mirror writer-goroutine state read from
+// the latest published Snapshot (immutable, so scrapes race with
+// nothing); live state (ingest counts, queue depths, snapshot age)
+// reads atomics or channel lengths at scrape time. Histograms are
+// written from the batcher and writer goroutines directly — obs
+// histograms are lock-free and allocation-free, so the hot path only
+// pays a few atomic adds and time.Now calls per *batch*, not per
+// update.
+type pipelineMetrics struct {
+	reg *obs.Registry
+
+	// Per-flush batcher observations.
+	batchRaw    *obs.Histogram // raw updates collected into one flush
+	batcherWait *obs.Histogram // queue wait of the flush's oldest message
+	// Per-stage latency: delta build (batcher goroutine), delta apply
+	// and snapshot publish (writer goroutine).
+	stageBuild   *obs.Histogram
+	stageApply   *obs.Histogram
+	stagePublish *obs.Histogram
+
+	httpLat   map[string]*obs.Histogram
+	httpCodes map[string]*[4]*obs.Counter
+}
+
+func newPipelineMetrics(s *Server) *pipelineMetrics {
+	reg := obs.NewRegistry()
+	m := &pipelineMetrics{
+		reg:       reg,
+		httpLat:   make(map[string]*obs.Histogram, len(httpRoutes)),
+		httpCodes: make(map[string]*[4]*obs.Counter, len(httpRoutes)),
+	}
+
+	// Ingest admission: live atomics.
+	reg.CounterFunc("fivm_ingest_updates_total", "",
+		"Tuple updates accepted by Ingest.", s.ingested.Load)
+	reg.CounterFunc("fivm_ingest_shed_updates_total", "",
+		"Tuple updates rejected by admission control (ingest queue at or above the high-watermark).", s.shed.Load)
+
+	// Per-shard ingest queues: depth and capacity, read at scrape time.
+	names := make([]string, 0, len(s.shards))
+	for rel := range s.shards {
+		names = append(names, rel)
+	}
+	sort.Strings(names)
+	for _, rel := range names {
+		sh := s.shards[rel]
+		reg.GaugeFunc("fivm_ingest_queue_depth", `rel="`+rel+`"`,
+			"Queued ingest messages per relation shard.",
+			func() float64 { return float64(len(sh.ch)) })
+		reg.GaugeFunc("fivm_ingest_queue_capacity", `rel="`+rel+`"`,
+			"Ingest channel capacity per relation shard.",
+			func() float64 { return float64(cap(sh.ch)) })
+	}
+
+	// Writer-side cumulative counters, via the immutable snapshot: the
+	// writer's private fields are never read from another goroutine.
+	snapStats := func() Stats { return s.snap.Load().Stats }
+	reg.CounterFunc("fivm_applied_updates_total", "",
+		"Ingested updates represented by applied batches.",
+		func() uint64 { return snapStats().Applied })
+	reg.CounterFunc("fivm_batches_total", "",
+		"Delta batches applied to the engine.",
+		func() uint64 { return snapStats().Batches })
+	reg.CounterFunc("fivm_delta_tuples_total", "",
+		"Distinct delta tuples applied after coalescing.",
+		func() uint64 { return snapStats().DeltaTuples })
+	reg.CounterFunc("fivm_apply_errors_total", "",
+		"Failed ApplyBuilt calls.",
+		func() uint64 { return snapStats().ApplyErrors })
+	reg.CounterFunc("fivm_snapshots_total", "",
+		"Published model snapshots.",
+		func() uint64 { return snapStats().Snapshots })
+	reg.GaugeFunc("fivm_snapshot_version", "",
+		"Version of the latest published snapshot.",
+		func() float64 { return float64(s.snap.Load().Version) })
+	reg.GaugeFunc("fivm_snapshot_age_seconds", "",
+		"Seconds since the latest snapshot was published.",
+		func() float64 { return time.Since(s.snap.Load().At).Seconds() })
+
+	// Batch shape and stage latencies.
+	m.batchRaw = reg.NewHistogram("fivm_batch_raw_updates", "",
+		"Raw updates coalesced into one flushed batch (the coalescing ratio is fivm_delta_tuples_total over fivm_applied_updates_total).",
+		obs.ExpBuckets(1, 2, 15))
+	m.batcherWait = reg.NewHistogram("fivm_batcher_wait_seconds", "",
+		"Queue wait of a flush's oldest message, ingest enqueue to batcher collect.",
+		obs.LatencyBuckets())
+	stageHelp := "Write-path stage latency: build (BuildDelta, batcher goroutine), apply (ApplyBuilt), publish (PublishModel + snapshot swap)."
+	m.stageBuild = reg.NewHistogram("fivm_stage_seconds", `stage="build"`, stageHelp, obs.LatencyBuckets())
+	m.stageApply = reg.NewHistogram("fivm_stage_seconds", `stage="apply"`, stageHelp, obs.LatencyBuckets())
+	m.stagePublish = reg.NewHistogram("fivm_stage_seconds", `stage="publish"`, stageHelp, obs.LatencyBuckets())
+
+	// HTTP surface, by route.
+	for _, rt := range httpRoutes {
+		m.httpLat[rt] = reg.NewHistogram("fivm_http_request_seconds", `route="`+rt+`"`,
+			"HTTP request latency by route.", obs.LatencyBuckets())
+		var cs [4]*obs.Counter
+		for i, class := range codeClasses {
+			cs[i] = reg.NewCounter("fivm_http_requests_total", `route="`+rt+`",code="`+class+`"`,
+				"HTTP responses by route and status class.")
+		}
+		m.httpCodes[rt] = &cs
+	}
+	return m
+}
+
+// WriteMetrics renders the server's metric registry in the Prometheus
+// text exposition format — the body of GET /metrics, also reachable
+// directly for library embedders.
+func (s *Server) WriteMetrics(w io.Writer) error { return s.met.reg.WritePrometheus(w) }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/fivm"
 	"repro/internal/view"
@@ -51,6 +53,22 @@ var _ Maintainable = fivm.AnyEngine(nil)
 // ErrClosed is returned by Ingest and Sync after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// OverloadError is returned by Ingest when a target relation's ingest
+// queue is at or above the configured high-watermark: the caller
+// should back off and retry instead of blocking behind the backlog
+// (the HTTP handler maps it to 429 with a Retry-After header). Every
+// update of the rejected call counts into the shed statistics.
+type OverloadError struct {
+	// Rel is the overloaded relation.
+	Rel string
+	// Depth and Capacity describe its queue at admission time.
+	Depth, Capacity int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: relation %s ingest queue overloaded (%d/%d queued); retry later", e.Rel, e.Depth, e.Capacity)
+}
+
 // Config tunes the ingestion pipeline.
 type Config struct {
 	// MaxBatch caps the number of raw updates a batcher coalesces into
@@ -64,19 +82,50 @@ type Config struct {
 	// values amortize model refits under backlog at the cost of
 	// staleness.
 	MaxBatchesPerPublish int
+	// HighWatermark is the per-relation ingest queue depth at or above
+	// which Ingest sheds with an OverloadError instead of enqueueing
+	// (admission control). 0 selects ChannelCap: shed only when a
+	// target queue is already full at admission time. Must not exceed
+	// ChannelCap — a watermark the queue can never reach would disable
+	// shedding silently.
+	HighWatermark int
+	// TraceLog, when non-nil, receives one structured line per flushed
+	// batch (queue wait, build, apply spans) and per published snapshot
+	// — the serving pipeline's span log, enabled by fivm-serve -trace.
+	TraceLog *log.Logger
 }
 
-func (c Config) withDefaults() Config {
-	if c.MaxBatch <= 0 {
+// withDefaults fills zero fields and rejects nonsensical explicit
+// settings: zero means "default", but a negative knob or a watermark
+// above the channel capacity is a configuration bug that must fail at
+// construction, not silently serve with a different value.
+func (c Config) withDefaults() (Config, error) {
+	switch {
+	case c.MaxBatch < 0:
+		return c, fmt.Errorf("serve: MaxBatch %d is negative (0 selects the default)", c.MaxBatch)
+	case c.ChannelCap < 0:
+		return c, fmt.Errorf("serve: ChannelCap %d is negative (0 selects the default)", c.ChannelCap)
+	case c.MaxBatchesPerPublish < 0:
+		return c, fmt.Errorf("serve: MaxBatchesPerPublish %d is negative (0 selects the default)", c.MaxBatchesPerPublish)
+	case c.HighWatermark < 0:
+		return c, fmt.Errorf("serve: HighWatermark %d is negative (0 selects ChannelCap)", c.HighWatermark)
+	}
+	if c.MaxBatch == 0 {
 		c.MaxBatch = 8192
 	}
-	if c.ChannelCap <= 0 {
+	if c.ChannelCap == 0 {
 		c.ChannelCap = 256
 	}
-	if c.MaxBatchesPerPublish <= 0 {
+	if c.MaxBatchesPerPublish == 0 {
 		c.MaxBatchesPerPublish = 32
 	}
-	return c
+	if c.HighWatermark == 0 {
+		c.HighWatermark = c.ChannelCap
+	}
+	if c.HighWatermark > c.ChannelCap {
+		return c, fmt.Errorf("serve: HighWatermark %d exceeds ChannelCap %d — queues can never reach it, so shedding would silently never trigger", c.HighWatermark, c.ChannelCap)
+	}
+	return c, nil
 }
 
 // Stats counts serving work. View carries the engine's own maintenance
@@ -99,7 +148,20 @@ type Stats struct {
 	// most recent message).
 	ApplyErrors uint64
 	LastError   string
-	View        view.Stats
+	// Shed is the number of tuple updates rejected by admission
+	// control (OverloadError); like Ingested it is a live counter, not
+	// snapshot-consistent.
+	Shed uint64
+	View view.Stats
+}
+
+// ShardStatus reports one relation's ingest queue for /stats and
+// /healthz: current depth, capacity, and the relation's tuple arity
+// (which load generators use to synthesize valid updates).
+type ShardStatus struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Arity    int `json:"arity"`
 }
 
 // Server owns a Maintainable engine and runs the ingestion pipeline over
@@ -119,6 +181,8 @@ type Server struct {
 
 	snap     atomic.Pointer[Snapshot]
 	ingested atomic.Uint64
+	shed     atomic.Uint64
+	met      *pipelineMetrics
 
 	// Writer-goroutine-private counters, copied into each snapshot.
 	nApplied     uint64
@@ -147,13 +211,20 @@ type shard struct {
 type ingestMsg struct {
 	ups []view.Update
 	wg  *sync.WaitGroup
+	at  time.Time // Ingest enqueue time, for batcher-wait latency
 }
 
+// batch carries a prebuilt delta to the writer together with its trace
+// context: the spans measured so far (queue wait of the oldest message,
+// delta build) ride along as plain value fields, so tracing adds no
+// allocations to the batch handoff.
 type batch struct {
 	rel   string
 	delta fivm.Delta
 	raw   int // ingested updates this batch represents
 	wgs   []*sync.WaitGroup
+	wait  time.Duration // oldest-message queue wait at collect time
+	build time.Duration // BuildDelta span
 }
 
 type execReq struct {
@@ -168,7 +239,10 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("serve: nil engine")
 	}
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		eng:        eng,
 		cfg:        cfg,
@@ -182,7 +256,8 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 		arity, _ := eng.Arity(rel)
 		s.shards[rel] = &shard{rel: rel, arity: arity, ch: make(chan ingestMsg, cfg.ChannelCap)}
 	}
-	s.publish() // version 1: the initial state, before any goroutine runs
+	s.met = newPipelineMetrics(s) // before publish: publish records its span
+	s.publish()                   // version 1: the initial state, before any goroutine runs
 	for _, sh := range s.shards {
 		s.batchers.Add(1)
 		go s.runBatcher(sh)
@@ -233,13 +308,28 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	// Admission control: if any target shard's queue sits at or above
+	// the high-watermark, shed the whole call before anything is
+	// enqueued — all-or-nothing, so a multi-relation call never lands
+	// partially. The check is advisory (concurrent ingesters can still
+	// race past it into a blocking send), but the default watermark
+	// equals the channel capacity, so an over-watermark queue is a
+	// genuinely full one.
+	for _, rel := range order {
+		if ch := s.shards[rel].ch; len(ch) >= s.cfg.HighWatermark {
+			s.shed.Add(uint64(len(ups)))
+			s.mu.RUnlock()
+			return nil, &OverloadError{Rel: rel, Depth: len(ch), Capacity: cap(ch)}
+		}
+	}
 	// Count before the sends: a snapshot published mid-Ingest must never
 	// report Applied > Ingested.
 	s.ingested.Add(uint64(len(ups)))
+	now := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(len(order))
 	for _, rel := range order {
-		s.shards[rel].ch <- ingestMsg{ups: groups[rel], wg: &wg}
+		s.shards[rel].ch <- ingestMsg{ups: groups[rel], wg: &wg, at: now}
 	}
 	s.mu.RUnlock()
 
@@ -272,11 +362,23 @@ func (s *Server) Sync(fn func(Maintainable)) error {
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Stats returns serving counters: snapshot-consistent applied-side
-// numbers plus the live ingested count.
+// numbers plus the live ingested and shed counts.
 func (s *Server) Stats() Stats {
 	st := s.snap.Load().Stats
 	st.Ingested = s.ingested.Load()
+	st.Shed = s.shed.Load()
 	return st
+}
+
+// Shards reports every relation's ingest queue (depth, capacity,
+// arity) — the health-check view of where backlog sits. Channel
+// lengths are instantaneous reads; no lock is taken.
+func (s *Server) Shards() map[string]ShardStatus {
+	out := make(map[string]ShardStatus, len(s.shards))
+	for rel, sh := range s.shards {
+		out[rel] = ShardStatus{Depth: len(sh.ch), Capacity: cap(sh.ch), Arity: sh.arity}
+	}
+	return out
 }
 
 // ViewTree returns the engine's view-tree rendering (immutable after

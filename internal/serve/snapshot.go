@@ -2,6 +2,7 @@ package serve
 
 import (
 	"strconv"
+	"time"
 
 	"repro/fivm"
 	"repro/internal/value"
@@ -21,6 +22,9 @@ type Snapshot struct {
 	// Version increments with every publish; version 1 is the state the
 	// Server was created with.
 	Version uint64
+	// At is the publish time; time.Since(At) is the snapshot's age,
+	// the staleness signal /healthz and /metrics report.
+	At time.Time
 	// Kind is the hosted engine kind.
 	Kind fivm.Kind
 	// Model is the engine's published model.
@@ -32,6 +36,7 @@ type Snapshot struct {
 // publish builds a fresh snapshot from the engine and swaps it in. Only
 // the constructor and the writer goroutine call it.
 func (s *Server) publish() {
+	t0 := time.Now()
 	s.nSnapshots++
 	s.dirty = false
 	var prev fivm.Model
@@ -53,7 +58,12 @@ func (s *Server) publish() {
 			View:        s.eng.Stats(),
 		},
 	}
+	ms.At = time.Now()
 	s.snap.Store(ms)
+	s.met.stagePublish.Observe(time.Since(t0).Seconds())
+	if s.cfg.TraceLog != nil {
+		s.cfg.TraceLog.Printf("publish version=%d applied=%d took=%s", ms.Version, ms.Stats.Applied, time.Since(t0))
+	}
 }
 
 // Predict evaluates the snapshot's model on the given feature values.

@@ -25,10 +25,22 @@
 //	fivm-serve -relations "R:A,B;S:B,C" -attrs "A,B,C"     # scalar COVAR
 //	fivm-serve -relations "R:A,B;S:B,C" -engine join       # join result
 //
-// With -state the daemon restores input relations from a fivm snapshot
-// file at startup (if present) and persists them periodically and on
-// shutdown; pair one state file with one engine configuration (the
-// snapshot's codec tag rejects a mismatched engine kind).
+// With -wal the daemon is durable: every coalesced update batch is
+// appended to a per-shard write-ahead log before it is applied, the
+// engine is checkpointed incrementally (-checkpoint-interval), and a
+// restart recovers the newest valid checkpoint plus a replay of the log
+// past it — tolerating a torn final record from a crash mid-append.
+// -fsync picks the sync policy (always|interval|off): appends are
+// unbuffered, so any policy survives a process kill; always/interval
+// bound what a power loss can take. Pair one WAL directory with one
+// engine configuration (the snapshot codec tag rejects a mismatch).
+//
+// -state (deprecated; superseded by -wal) restores input relations from
+// a fivm snapshot file at startup and persists them periodically and on
+// shutdown. It cannot tell acknowledged updates from lost ones after a
+// crash — anything since the last persist is gone. Migrate by swapping
+// -state file.snap for -wal dir/; the first boot starts empty (or from
+// the preset load) and checkpoints into the WAL directory from then on.
 //
 // -workers enables parallel delta propagation: each applied batch is
 // hash-partitioned by join key and propagated across that many
@@ -45,7 +57,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -55,6 +66,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/serve"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -68,7 +80,12 @@ func main() {
 	featuresFlag := flag.String("features", "", `analysis features, e.g. "A,B:cat,C:bin=10"`)
 	attrsFlag := flag.String("attrs", "", `covar aggregate attributes, e.g. "A,B,C"`)
 	label := flag.String("label", "", "ridge label attribute for analysis engines (preset default when -db is set; empty disables fitting)")
-	statePath := flag.String("state", "", "snapshot file: restored at startup if present, persisted on shutdown")
+	walDir := flag.String("wal", "", "durability directory: write-ahead log + checkpoints, recovered at startup (supersedes -state)")
+	fsyncPolicy := flag.String("fsync", string(wal.PolicyInterval), "WAL fsync policy: always|interval|off")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+	checkpointEvery := flag.Duration("checkpoint-interval", time.Minute, "incremental checkpoint period with -wal (<0 disables; a final checkpoint is still written on shutdown)")
+	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
+	statePath := flag.String("state", "", "deprecated (use -wal): snapshot file restored at startup if present, persisted on shutdown")
 	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
 	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
 	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
@@ -86,36 +103,77 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored := false
-	if *statePath != "" {
+	if *walDir != "" && *statePath != "" {
+		log.Fatal("-state is deprecated and superseded by -wal; drop -state (the WAL directory carries checkpoints)")
+	}
+	var w *wal.WAL
+	if *walDir != "" {
+		w, err = wal.Open(wal.Config{
+			Dir:           *walDir,
+			Fsync:         wal.Policy(*fsyncPolicy),
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *segmentBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Preset bulk-load only on a cold start: once a checkpoint
+		// exists it already contains the loaded data (the boot
+		// checkpoint below guarantees one after the first start).
+		if w.Checkpoint() == nil && initData != nil {
+			if err := eng.Init(initData); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded %d relations", len(initData))
+		}
+		info, err := serve.Recover(eng, w)
+		if err != nil {
+			log.Fatalf("recovering %s: %v", *walDir, err)
+		}
+		log.Printf("recovered from %s: checkpoint seq=%d (%d updates), replayed %d batches (%d updates)",
+			*walDir, info.CheckpointSeq, info.CheckpointUpdates, info.ReplayedBatches, info.ReplayedUpdates)
+	} else if *statePath != "" {
+		log.Print("warning: -state is deprecated; use -wal for crash-safe durability")
 		if f, err := os.Open(*statePath); err == nil {
 			err = eng.ReadSnapshot(f)
 			f.Close()
 			if err != nil {
 				log.Fatalf("restoring %s: %v", *statePath, err)
 			}
-			restored = true
 			log.Printf("restored state from %s", *statePath)
+			initData = nil // the state file wins over the generated preset data
 		} else if !errors.Is(err, os.ErrNotExist) {
 			log.Fatal(err)
 		}
 	}
-	// A restored state file wins over the generated preset data: loading
-	// both would evaluate every view twice only to discard the first.
-	if initData != nil && !restored {
+	if initData != nil && *walDir == "" {
 		if err := eng.Init(initData); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("loaded %d relations", len(initData))
 	}
 
-	scfg := serve.Config{MaxBatch: *maxBatch, ChannelCap: *chanCap, HighWatermark: *highWatermark}
+	scfg := serve.Config{
+		MaxBatch:           *maxBatch,
+		ChannelCap:         *chanCap,
+		HighWatermark:      *highWatermark,
+		WAL:                w,
+		CheckpointInterval: *checkpointEvery,
+	}
 	if *trace {
 		scfg.TraceLog = log.New(os.Stderr, "trace ", log.LstdFlags|log.Lmicroseconds)
 	}
 	srv, err := serve.New(eng, scfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if w != nil {
+		// Boot checkpoint: makes the recovered (and possibly just
+		// bulk-loaded) state the durable baseline and lets replayed
+		// segments be pruned right away.
+		if err := srv.Checkpoint(); err != nil {
+			log.Fatalf("boot checkpoint: %v", err)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -154,8 +212,13 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Close(); err != nil { // drains every accepted update
+	if err := srv.Close(); err != nil { // drains every accepted update; with -wal, writes the final checkpoint
 		log.Printf("server close: %v", err)
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	if *statePath != "" {
 		// All pipeline goroutines have stopped; write directly.
@@ -169,8 +232,7 @@ func main() {
 	log.Printf("done: %d updates ingested, %d batches, %d snapshots", st.Ingested, st.Batches, st.Snapshots)
 }
 
-// persist writes the engine state via the writer goroutine (atomically,
-// through a temp file rename).
+// persist writes the engine state via the writer goroutine.
 func persist(srv *serve.Server, path string) error {
 	var werr error
 	err := srv.Sync(func(eng serve.Maintainable) { werr = writeState(eng, path) })
@@ -180,20 +242,12 @@ func persist(srv *serve.Server, path string) error {
 	return werr
 }
 
+// writeState persists a -state snapshot crash-atomically: the temp file
+// is fsynced before the rename and the directory after it, so a crash
+// anywhere in between leaves either the old complete file or the new
+// one, never a truncated or unlinked state.
 func writeState(eng serve.Maintainable, path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".fivm-state-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := eng.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return wal.WriteFileAtomic(path, eng.WriteSnapshot)
 }
 
 // buildConfig resolves the engine configuration from either a preset

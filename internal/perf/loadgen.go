@@ -79,9 +79,17 @@ type LoadgenReport struct {
 	UpdatesSent     uint64         `json:"updates_sent"`
 	WriteLatency    LatencySummary `json:"write_latency"`
 	ReadLatency     LatencySummary `json:"read_latency"`
-	// ServerIngested/ServerShed come from the final GET /stats.
-	ServerIngested uint64 `json:"server_ingested"`
-	ServerShed     uint64 `json:"server_shed"`
+	// ServerIngested/ServerShed come from the final GET /stats, as do
+	// the ServerWAL* durability counters (all zero when the server runs
+	// without -wal).
+	ServerIngested           uint64 `json:"server_ingested"`
+	ServerShed               uint64 `json:"server_shed"`
+	ServerWALEnabled         bool   `json:"server_wal_enabled"`
+	ServerWALAppendedBatches uint64 `json:"server_wal_appended_batches"`
+	ServerWALAppendedBytes   uint64 `json:"server_wal_appended_bytes"`
+	ServerWALSegments        int64  `json:"server_wal_segments"`
+	ServerWALCheckpointSeq   uint64 `json:"server_wal_checkpoint_seq"`
+	ServerWALRecovered       uint64 `json:"server_wal_recovered_updates"`
 	// MetricsValid reports whether the final GET /metrics parsed as
 	// Prometheus text exposition; MetricsSeries counts its samples.
 	MetricsValid  bool   `json:"metrics_valid"`
@@ -199,8 +207,14 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 
 	// Server-side consistency: final counters and a /metrics scrape that
 	// must parse as exposition format.
-	if ing, shed, err := fetchServerCounters(client, base); err == nil {
-		rep.ServerIngested, rep.ServerShed = ing, shed
+	if sc, err := fetchServerCounters(client, base); err == nil {
+		rep.ServerIngested, rep.ServerShed = sc.Ingested, sc.Shed
+		rep.ServerWALEnabled = sc.WAL.Enabled
+		rep.ServerWALAppendedBatches = sc.WAL.AppendedBatches
+		rep.ServerWALAppendedBytes = sc.WAL.AppendedBytes
+		rep.ServerWALSegments = sc.WAL.Segments
+		rep.ServerWALCheckpointSeq = sc.WAL.CheckpointSeq
+		rep.ServerWALRecovered = sc.WAL.RecoveredUpdates
 	}
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -273,20 +287,32 @@ func writeBatchJSON(buf *bytes.Buffer, rng *rand.Rand, rel string, arity, n int)
 	buf.WriteString("]}")
 }
 
-func fetchServerCounters(client *http.Client, base string) (ingested, shed uint64, err error) {
+// serverCounters is the slice of GET /stats the report repeats:
+// admission counters plus the durability section.
+type serverCounters struct {
+	Ingested uint64 `json:"ingested"`
+	Shed     uint64 `json:"shed"`
+	WAL      struct {
+		Enabled          bool   `json:"enabled"`
+		AppendedBatches  uint64 `json:"appended_batches"`
+		AppendedBytes    uint64 `json:"appended_bytes"`
+		Segments         int64  `json:"segments"`
+		CheckpointSeq    uint64 `json:"checkpoint_seq"`
+		RecoveredUpdates uint64 `json:"recovered_updates"`
+	} `json:"wal"`
+}
+
+func fetchServerCounters(client *http.Client, base string) (serverCounters, error) {
+	var stats serverCounters
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
-		return 0, 0, err
+		return stats, err
 	}
 	defer resp.Body.Close()
-	var stats struct {
-		Ingested uint64 `json:"ingested"`
-		Shed     uint64 `json:"shed"`
-	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return 0, 0, err
+		return stats, err
 	}
-	return stats.Ingested, stats.Shed, nil
+	return stats, nil
 }
 
 // summarize computes exact quantiles over the collected samples.

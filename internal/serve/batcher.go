@@ -40,7 +40,25 @@ func (s *Server) runBatcher(sh *shard) {
 			}
 			continue
 		}
-		s.batches <- batch{rel: sh.rel, delta: delta, raw: len(ups), wgs: wgs, wait: wait, build: build}
+		// Write-ahead: the batch is logged before the writer can apply
+		// it, so anything the engine ever saw is in the log. An append
+		// failure poisons the shard and crashes the pipeline — the batch
+		// is dropped unapplied and its waiters never release, keeping
+		// acknowledged == logged == recoverable.
+		var seq uint64
+		if sh.wal != nil {
+			if seq, err = sh.wal.Append(ups); err != nil {
+				s.walFail(err)
+				return
+			}
+		}
+		// The writer exits early on a crash; select so this send cannot
+		// block forever against it.
+		select {
+		case s.batches <- batch{rel: sh.rel, delta: delta, raw: len(ups), seq: seq, wgs: wgs, wait: wait, build: build}:
+		case <-s.crashed:
+			return
+		}
 		if chClosed {
 			return
 		}
@@ -89,6 +107,11 @@ func (s *Server) runWriter() {
 	defer close(s.writerDone)
 	for {
 		select {
+		case <-s.crashed:
+			// A WAL append failed somewhere: stop applying immediately.
+			// Queued batches stay unapplied — recovery replays them from
+			// the log, where they all made it before the failing one.
+			return
 		case req := <-s.exec:
 			req.fn(s.eng)
 			close(req.done)
@@ -142,6 +165,16 @@ func (s *Server) applyBatch(b batch) []*sync.WaitGroup {
 	}
 	s.nBatches++
 	s.nApplied += uint64(b.raw)
+	if b.seq != 0 {
+		// Advance the position watermark the next checkpoint will stamp.
+		// Per-shard sequence order holds because each shard has a single
+		// batcher and batches reach the writer in send order.
+		s.walPos.Shards[b.rel] = b.seq
+		s.walPos.Applied += uint64(b.raw)
+		s.walPos.Batches++
+		s.walApplied.Store(s.walPos.Applied)
+		s.walBatches.Store(s.walPos.Batches)
+	}
 	s.dirty = true
 	if s.cfg.TraceLog != nil {
 		s.cfg.TraceLog.Printf("batch rel=%s raw=%d delta=%d wait=%s build=%s apply=%s err=%v",

@@ -66,6 +66,22 @@
 // emits one structured line per batch and per publish carrying the
 // same spans (wait/build/apply, publish duration).
 //
+// # Durability
+//
+// With Config.WAL set, each batcher appends its raw batch to the
+// shard's write-ahead log (internal/wal) after BuildDelta succeeds and
+// before the hand-off to the writer. Since read-your-writes waiters
+// only release after the writer publishes, acknowledged implies
+// logged. The writer privately tracks the per-shard log positions it
+// has applied; Checkpoint (and the Config.CheckpointInterval loop, and
+// Close) snapshots the engine together with those positions inside one
+// Sync round — a consistent cut — so recovery (Recover) restores the
+// checkpoint and replays only the log past it. A WAL append failure
+// poisons the pipeline fail-stop: the error is sticky, Ingest and Sync
+// return ErrCrashed, unacknowledged waiters never release, no further
+// checkpoint is written, and Close skips the final checkpoint — a
+// restart recovers exactly the acknowledged prefix.
+//
 // # Admission control
 //
 // Ingest sheds load instead of blocking once any target shard's queue

@@ -202,22 +202,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"view_updates":         st.View.Updates,
 		"view_delta_tuples":    st.View.DeltaTuples,
 		"shards":               s.Shards(),
+		"wal":                  s.WALStatus(),
 	})
 }
 
 // handleHealthz is the liveness-and-staleness probe: snapshot version
-// and age plus queue depths and shed counts, so a health check detects
-// a stalled writer or an overloaded shard without scraping /metrics.
+// and age plus queue depths, shed counts, and durability state, so a
+// health check detects a stalled writer, an overloaded shard, or a
+// crashed WAL without scraping /metrics. A poisoned pipeline answers
+// 503 with ok=false — the process is up but not ingesting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":                   true,
+	code := http.StatusOK
+	ok := true
+	if s.CrashError() != nil {
+		code = http.StatusServiceUnavailable
+		ok = false
+	}
+	writeJSON(w, code, map[string]any{
+		"ok":                   ok,
 		"kind":                 s.Kind(),
 		"version":              snap.Version,
 		"snapshot_age_seconds": time.Since(snap.At).Seconds(),
 		"ingested":             s.ingested.Load(),
 		"shed":                 s.shed.Load(),
 		"shards":               s.Shards(),
+		"wal":                  s.WALStatus(),
 	})
 }
 

@@ -99,6 +99,33 @@ func newPipelineMetrics(s *Server) *pipelineMetrics {
 		"Seconds since the latest snapshot was published.",
 		func() float64 { return time.Since(s.snap.Load().At).Seconds() })
 
+	// Durability: WAL append/fsync/checkpoint surface, present only
+	// when the pipeline runs with a WAL.
+	if w := s.cfg.WAL; w != nil {
+		reg.CounterFunc("fivm_wal_appended_batches_total", "",
+			"Batches appended to the write-ahead log.",
+			func() uint64 { return w.Stats().AppendedBatches })
+		reg.CounterFunc("fivm_wal_appended_bytes_total", "",
+			"Bytes appended to the write-ahead log.",
+			func() uint64 { return w.Stats().AppendedBytes })
+		reg.GaugeFunc("fivm_wal_segments", "",
+			"Live WAL segment files across all shards.",
+			func() float64 { return float64(w.Stats().Segments) })
+		reg.GaugeFunc("fivm_wal_checkpoint_seq", "",
+			"Sequence number of the newest valid checkpoint (0 = none).",
+			func() float64 { return float64(w.Stats().CheckpointSeq) })
+		reg.GaugeFunc("fivm_wal_checkpoint_age_seconds", "",
+			"Seconds since the newest checkpoint was written (time since boot when none exists) — the replay-on-crash exposure.",
+			func() float64 { return w.CheckpointAge().Seconds() })
+		reg.CounterFunc("fivm_wal_recovered_updates_total", "",
+			"Cumulative updates boot recovery restored (checkpoint coverage plus replayed log records).",
+			func() uint64 { return s.walRecovered.Applied })
+		walFsync := reg.NewHistogram("fivm_wal_fsync_seconds", "",
+			"WAL fsync latency (inline under policy always, background under interval).",
+			obs.LatencyBuckets())
+		w.SetFsyncObserver(walFsync.Observe)
+	}
+
 	// Batch shape and stage latencies.
 	m.batchRaw = reg.NewHistogram("fivm_batch_raw_updates", "",
 		"Raw updates coalesced into one flushed batch (the coalescing ratio is fivm_delta_tuples_total over fivm_applied_updates_total).",

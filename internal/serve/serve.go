@@ -11,6 +11,7 @@ import (
 
 	"repro/fivm"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // Maintainable is the engine contract the serving pipeline needs: delta
@@ -53,6 +54,12 @@ var _ Maintainable = fivm.AnyEngine(nil)
 // ErrClosed is returned by Ingest and Sync after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrCrashed wraps the error returned by Ingest and Sync after a WAL
+// append failure poisoned the pipeline: nothing further is accepted or
+// applied, so the durable log stays a clean prefix of the acknowledged
+// stream and a restart recovers exactly what was acknowledged.
+var ErrCrashed = errors.New("serve: pipeline crashed on WAL write failure")
+
 // OverloadError is returned by Ingest when a target relation's ingest
 // queue is at or above the configured high-watermark: the caller
 // should back off and retry instead of blocking behind the backlog
@@ -93,6 +100,16 @@ type Config struct {
 	// batch (queue wait, build, apply spans) and per published snapshot
 	// — the serving pipeline's span log, enabled by fivm-serve -trace.
 	TraceLog *log.Logger
+	// WAL, when non-nil, makes the pipeline durable: every coalesced
+	// batch is appended to its relation's shard log before it is handed
+	// to the writer, so an acknowledged update is always recoverable
+	// (see Recover). The Server appends to and checkpoints the WAL but
+	// does not close it — the opener does, after Close returns.
+	WAL *wal.WAL
+	// CheckpointInterval is how often the pipeline writes an incremental
+	// checkpoint when a WAL is configured (default 1m; negative disables
+	// the periodic loop — Close still writes a final checkpoint).
+	CheckpointInterval time.Duration
 }
 
 // withDefaults fills zero fields and rejects nonsensical explicit
@@ -124,6 +141,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HighWatermark > c.ChannelCap {
 		return c, fmt.Errorf("serve: HighWatermark %d exceeds ChannelCap %d — queues can never reach it, so shedding would silently never trigger", c.HighWatermark, c.ChannelCap)
+	}
+	if c.WAL != nil && c.CheckpointInterval == 0 {
+		c.CheckpointInterval = time.Minute
 	}
 	return c, nil
 }
@@ -184,6 +204,24 @@ type Server struct {
 	shed     atomic.Uint64
 	met      *pipelineMetrics
 
+	// crashed closes (once, after crashErr is set) when a WAL append
+	// failure poisons the pipeline; every blocking channel operation
+	// selects on it so goroutines unwind instead of deadlocking.
+	crashed   chan struct{}
+	crashOnce sync.Once
+	crashErr  error // written once before crashed closes; read only after <-crashed
+
+	// walPos is the writer-private WAL position watermark (checkpoint
+	// restore + replay + every batch applied since); walApplied and
+	// walBatches mirror its cumulative counters for concurrent readers,
+	// and walRecovered freezes what boot recovery covered.
+	walPos       wal.Positions
+	walRecovered wal.Positions
+	walApplied   atomic.Uint64
+	walBatches   atomic.Uint64
+	cpStop       chan struct{}
+	cpWG         sync.WaitGroup
+
 	// Writer-goroutine-private counters, copied into each snapshot.
 	nApplied     uint64
 	nBatches     uint64
@@ -206,6 +244,9 @@ type shard struct {
 	// the prebuilt delta, so the buffer is free again by the time the
 	// next flush starts (asserted by the zero-steady-state-allocs test).
 	buf []view.Update
+	// wal is the shard's append handle when durability is configured
+	// (nil otherwise). Only the shard's batcher goroutine appends.
+	wal *wal.Shard
 }
 
 type ingestMsg struct {
@@ -221,7 +262,8 @@ type ingestMsg struct {
 type batch struct {
 	rel   string
 	delta fivm.Delta
-	raw   int // ingested updates this batch represents
+	raw   int    // ingested updates this batch represents
+	seq   uint64 // WAL sequence number (0 when running without a WAL)
 	wgs   []*sync.WaitGroup
 	wait  time.Duration // oldest-message queue wait at collect time
 	build time.Duration // BuildDelta span
@@ -250,11 +292,28 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 		batches:    make(chan batch, cfg.ChannelCap),
 		exec:       make(chan execReq),
 		writerDone: make(chan struct{}),
+		crashed:    make(chan struct{}),
 		viewTree:   eng.ViewTree(),
 	}
 	for _, rel := range eng.RelationNames() {
 		arity, _ := eng.Arity(rel)
 		s.shards[rel] = &shard{rel: rel, arity: arity, ch: make(chan ingestMsg, cfg.ChannelCap)}
+	}
+	if cfg.WAL != nil {
+		// Continue the recovered positions: the engine was restored via
+		// Recover with this same WAL, so live batches extend the prefix
+		// the last checkpoint and replay already covered.
+		s.walRecovered = cfg.WAL.RecoveredPositions()
+		s.walPos = cfg.WAL.RecoveredPositions()
+		s.walApplied.Store(s.walPos.Applied)
+		s.walBatches.Store(s.walPos.Batches)
+		for rel, sh := range s.shards {
+			ws, err := cfg.WAL.Shard(rel)
+			if err != nil {
+				return nil, err
+			}
+			sh.wal = ws
+		}
 	}
 	s.met = newPipelineMetrics(s) // before publish: publish records its span
 	s.publish()                   // version 1: the initial state, before any goroutine runs
@@ -263,6 +322,11 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 		go s.runBatcher(sh)
 	}
 	go s.runWriter()
+	if cfg.WAL != nil && cfg.CheckpointInterval > 0 {
+		s.cpStop = make(chan struct{})
+		s.cpWG.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
 }
 
@@ -308,6 +372,10 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	if err := s.CrashError(); err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
 	// Admission control: if any target shard's queue sits at or above
 	// the high-watermark, shed the whole call before anything is
 	// enqueued — all-or-nothing, so a multi-relation call never lands
@@ -329,7 +397,15 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 	var wg sync.WaitGroup
 	wg.Add(len(order))
 	for _, rel := range order {
-		s.shards[rel].ch <- ingestMsg{ups: groups[rel], wg: &wg, at: now}
+		// A crash stops the batchers, so an unguarded send could block
+		// forever; a call interrupted mid-send reports the crash (its
+		// done channel never closes — crash semantics, not acknowledged).
+		select {
+		case s.shards[rel].ch <- ingestMsg{ups: groups[rel], wg: &wg, at: now}:
+		case <-s.crashed:
+			s.mu.RUnlock()
+			return nil, s.crashErr
+		}
 	}
 	s.mu.RUnlock()
 
@@ -350,8 +426,25 @@ func (s *Server) Sync(fn func(Maintainable)) error {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
+	// A poisoned pipeline must not serve new rounds, even while the
+	// writer is still draining toward exit (it could otherwise win the
+	// select below and run fn against unrecoverable state).
+	if err := s.CrashError(); err != nil {
+		s.mu.RUnlock()
+		return err
+	}
 	req := execReq{fn: fn, done: make(chan struct{})}
-	s.exec <- req
+	// While the server is open the writer only exits on a crash; the
+	// select keeps Sync from blocking forever against a dead writer.
+	select {
+	case s.exec <- req:
+	case <-s.writerDone:
+		s.mu.RUnlock()
+		if err := s.CrashError(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
 	s.mu.RUnlock()
 	<-req.done
 	return nil
@@ -387,8 +480,10 @@ func (s *Server) ViewTree() string { return s.viewTree }
 
 // Close drains the pipeline — every update accepted by Ingest before
 // Close is applied and reflected in a final snapshot — then stops all
-// goroutines. It is idempotent; Ingest and Sync fail with ErrClosed
-// afterwards.
+// goroutines and, when a WAL is configured, writes a final checkpoint.
+// After a crash there is no drain and no checkpoint: the WAL already
+// holds the clean prefix a restart will recover. Close is idempotent;
+// Ingest and Sync fail with ErrClosed afterwards.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -402,8 +497,12 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
+	if s.cpStop != nil {
+		close(s.cpStop)
+		s.cpWG.Wait()
+	}
 	s.batchers.Wait()
 	close(s.batches)
 	<-s.writerDone
-	return nil
+	return s.finalCheckpoint()
 }

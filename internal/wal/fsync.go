@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory so a just-created, renamed, or removed
+// entry inside it survives power loss. Required after rename for the
+// atomic-write protocol to actually be durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic writes a file crash-atomically: the content is
+// streamed to a temp file in the target directory, flushed and fsynced,
+// renamed over path, and the directory fsynced. Readers see either the
+// old file or the complete new one, never a partial write. On error the
+// temp file is removed and the target left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}

@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/value"
+	"repro/internal/view"
+)
+
+// Record framing: u32le payload length | u32le CRC32C(payload) | payload.
+const (
+	recordHeaderLen = 8
+	// maxRecordLen bounds the length field before anything is
+	// allocated, so a corrupt header cannot demand gigabytes.
+	maxRecordLen = 1 << 30
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendBatchPayload appends the batch payload (seq, update count, then
+// per update: length-prefixed tuple key and zigzag multiplicity) to
+// buf. kbuf is the caller's reusable tuple-encode scratch; both buffers
+// grow to a steady state, so hot-path appends allocate nothing.
+func appendBatchPayload(buf []byte, seq uint64, ups []view.Update, kbuf *[]byte) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	for i := range ups {
+		k := ups[i].Tuple.AppendEncode((*kbuf)[:0])
+		*kbuf = k
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendVarint(buf, int64(ups[i].Mult))
+	}
+	return buf
+}
+
+// decodeBatchPayload parses a CRC-validated payload back into updates
+// for rel. Errors indicate a framing-valid but undecodable payload —
+// recovery treats them like corruption and stops.
+func decodeBatchPayload(p []byte, rel string) (seq uint64, ups []view.Update, err error) {
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated batch sequence number")
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated batch update count")
+	}
+	p = p[n:]
+	if count > uint64(len(p)) { // every update takes >= 1 byte
+		return 0, nil, fmt.Errorf("wal: batch claims %d updates in %d payload bytes", count, len(p))
+	}
+	ups = make([]view.Update, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || klen > uint64(len(p)-n) {
+			return 0, nil, fmt.Errorf("wal: truncated tuple key in batch %d", seq)
+		}
+		p = p[n:]
+		tp, err := value.DecodeTuple(string(p[:klen]))
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: batch %d: %w", seq, err)
+		}
+		p = p[klen:]
+		mult, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("wal: truncated multiplicity in batch %d", seq)
+		}
+		p = p[n:]
+		ups = append(ups, view.Update{Rel: rel, Tuple: tp, Mult: int(mult)})
+	}
+	return seq, ups, nil
+}
+
+// segmentReader iterates a segment file's records. Any framing,
+// checksum, or decode failure surfaces as a recoverable stop (ok=false
+// with the failure recorded), never a panic: a torn tail is the
+// expected crash artifact.
+type segmentReader struct {
+	f   *os.File
+	rel string
+	// off is the file offset of the NEXT record header — after a clean
+	// iteration it marks the end of the valid prefix.
+	off int64
+	hdr [recordHeaderLen]byte
+	buf []byte
+	// failure describes why iteration stopped early ("" = clean EOF).
+	failure string
+}
+
+// openSegmentReader validates the segment header (magic + relation) and
+// positions the reader at the first record.
+func openSegmentReader(path, rel string) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdrLen, err := checkSegmentHeader(f, rel)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segmentReader{f: f, rel: rel, off: hdrLen}, nil
+}
+
+// checkSegmentHeader reads and validates the magic + relation name,
+// returning the header length.
+func checkSegmentHeader(f *os.File, rel string) (int64, error) {
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	if string(magic) != segmentMagic {
+		return 0, fmt.Errorf("wal: not a segment file (magic %q)", magic)
+	}
+	var lbuf [binary.MaxVarintLen32]byte
+	// Read the name length byte-by-byte (names are short, so the varint
+	// is 1-2 bytes; read conservatively).
+	n := 0
+	var nameLen uint64
+	for {
+		if n == len(lbuf) {
+			return 0, fmt.Errorf("wal: segment relation length overflows")
+		}
+		if _, err := io.ReadFull(f, lbuf[n:n+1]); err != nil {
+			return 0, fmt.Errorf("wal: segment header: %w", err)
+		}
+		n++
+		var c int
+		nameLen, c = binary.Uvarint(lbuf[:n])
+		if c > 0 {
+			break
+		}
+	}
+	if nameLen > 4096 {
+		return 0, fmt.Errorf("wal: segment relation name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(f, name); err != nil {
+		return 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	if string(name) != rel {
+		return 0, fmt.Errorf("wal: segment belongs to relation %q, expected %q", name, rel)
+	}
+	return int64(len(segmentMagic) + n + int(nameLen)), nil
+}
+
+// next reads one record's payload. ok=false means iteration is over —
+// clean EOF when failure is empty, otherwise the first invalid record
+// (r.off stays at the valid prefix's end either way). The returned
+// payload aliases an internal buffer reused by the next call.
+func (r *segmentReader) next() (payload []byte, ok bool) {
+	if _, err := io.ReadFull(r.f, r.hdr[:]); err != nil {
+		if err != io.EOF {
+			r.failure = fmt.Sprintf("torn record header at offset %d: %v", r.off, err)
+		}
+		return nil, false
+	}
+	plen := binary.LittleEndian.Uint32(r.hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(r.hdr[4:8])
+	if plen > maxRecordLen {
+		r.failure = fmt.Sprintf("record at offset %d claims %d payload bytes", r.off, plen)
+		return nil, false
+	}
+	if cap(r.buf) < int(plen) {
+		r.buf = make([]byte, plen)
+	}
+	r.buf = r.buf[:plen]
+	if _, err := io.ReadFull(r.f, r.buf); err != nil {
+		r.failure = fmt.Sprintf("torn record payload at offset %d: %v", r.off, err)
+		return nil, false
+	}
+	if got := crc32.Checksum(r.buf, castagnoli); got != wantCRC {
+		r.failure = fmt.Sprintf("record at offset %d fails CRC (got %08x, want %08x)", r.off, got, wantCRC)
+		return nil, false
+	}
+	r.off += recordHeaderLen + int64(plen)
+	return r.buf, true
+}
+
+func (r *segmentReader) close() error { return r.f.Close() }

@@ -12,6 +12,7 @@
 //	fivm-bench -exp perf -json BENCH_dev.json [-bench regex] [-benchtime 100ms]
 //	fivm-bench compare [-max-rate-drop 0.15] [-max-alloc-growth 0.10] BENCH_baseline.json BENCH_dev.json
 //	fivm-bench scalingcheck [-max-growth 3] BENCH_dev.json
+//	fivm-bench parallelcheck [-min-speedup 2] [-json PARALLEL_dev.json] BENCH_dev.json
 //	fivm-bench loadgen -url http://localhost:8344 -duration 10s -concurrency 8 -write-ratio 0.5 [-json LOADGEN.json]
 package main
 
@@ -36,6 +37,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scalingcheck" {
 		os.Exit(runScalingCheck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "parallelcheck" {
+		os.Exit(runParallelCheck(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		os.Exit(runLoadgen(os.Args[2:]))
@@ -166,6 +170,50 @@ func runScalingCheck(args []string) int {
 	}
 	findings, ok := perf.CheckScaling(rep, *maxGrowth)
 	perf.WriteFindings(os.Stdout, findings, ok)
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// runParallelCheck gates the multi-worker speedup claim within a single
+// report (perf.CheckParallel): the 4-worker E2FIVM run must sustain at
+// least min-speedup times the 1-worker throughput of the same suite
+// invocation. Hardware-independent because both runs share the host; on
+// hosts with fewer than 4 CPUs the check reports a skip note and
+// passes. -json writes the findings machine-readably for CI artifacts.
+func runParallelCheck(args []string) int {
+	fs := flag.NewFlagSet("parallelcheck", flag.ExitOnError)
+	minSpeedup := fs.Float64("min-speedup", perf.DefaultMinParallelSpeedup, "required 4-worker / 1-worker throughput ratio")
+	jsonOut := fs.String("json", "", "write findings as JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fivm-bench parallelcheck [flags] report.json")
+		return 2
+	}
+	rep, err := perf.ReadJSON(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 2
+	}
+	findings, ok := perf.CheckParallel(rep, *minSpeedup)
+	perf.WriteFindings(os.Stdout, findings, ok)
+	if *jsonOut != "" {
+		out := struct {
+			GOMAXPROCS int            `json:"gomaxprocs"`
+			MinSpeedup float64        `json:"min_speedup"`
+			OK         bool           `json:"ok"`
+			Findings   []perf.Finding `json:"findings"`
+		}{rep.GOMAXPROCS, *minSpeedup, ok, findings}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench: writing %s: %v\n", *jsonOut, err)
+			return 2
+		}
+	}
 	if !ok {
 		return 1
 	}

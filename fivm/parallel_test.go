@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/fivm"
+	"repro/internal/relation"
 	"repro/internal/value"
 	"repro/internal/view"
 )
@@ -58,6 +59,90 @@ func snapshotState(t *testing.T, e fivm.AnyEngine) string {
 	}
 }
 
+// indexStates verifies every secondary index of the engine's tree
+// against its primary map and returns the built indexes' deterministic
+// postings dumps, keyed by map (deterministic walk order) and
+// projection. Laziness makes the built SET probe-dependent, so callers
+// compare dumps per projection present on both sides; VerifyIndexes
+// ties every built index — compared or not — to primary contents that
+// engineState already asserts bit-identical.
+func indexStates[V any](t *testing.T, e *fivm.Engine[V]) map[string]map[string]string {
+	t.Helper()
+	out := map[string]map[string]string{}
+	check := func(name string, m *relation.Map[V]) {
+		if err := m.VerifyIndexes(); err != nil {
+			t.Fatalf("%s: inconsistent index: %v", name, err)
+		}
+		if d := m.IndexDumps(); len(d) > 0 {
+			out[name] = d
+		}
+	}
+	var walk func(prefix string, n *view.Node[V])
+	walk = func(prefix string, n *view.Node[V]) {
+		check(prefix+"/view "+n.Var(), n.View())
+		for i, c := range n.Children() {
+			walk(fmt.Sprintf("%s/%d", prefix, i), c)
+		}
+	}
+	tr := e.Tree()
+	for i, r := range tr.Roots() {
+		walk(fmt.Sprintf("root%d", i), r)
+	}
+	for _, name := range tr.RelationNames() {
+		src, _ := tr.Source(name)
+		check("source "+name, src)
+	}
+	check("result", tr.Result())
+	return out
+}
+
+// snapshotIndexes dispatches indexStates over the six concrete kinds.
+func snapshotIndexes(t *testing.T, e fivm.AnyEngine) map[string]map[string]string {
+	t.Helper()
+	switch x := e.(type) {
+	case *fivm.Analysis:
+		return indexStates(t, x.Engine)
+	case *fivm.CountEngine:
+		return indexStates(t, x.Engine)
+	case *fivm.FloatEngine:
+		return indexStates(t, x.Engine)
+	case *fivm.CovarEngine:
+		return indexStates(t, x.Engine)
+	case *fivm.RangedCovarEngine:
+		return indexStates(t, x.Engine)
+	case *fivm.JoinEngine:
+		return indexStates(t, x.Engine)
+	default:
+		t.Fatalf("unknown engine type %T", e)
+		return nil
+	}
+}
+
+// compareIndexes asserts bit-identical postings for every index built
+// on BOTH engines (same map, same projection) and returns how many
+// index pairs it compared, so callers can reject a vacuous run.
+func compareIndexes(t *testing.T, base, other map[string]map[string]string, ctx string) int {
+	t.Helper()
+	n := 0
+	for name, bd := range base {
+		od, ok := other[name]
+		if !ok {
+			continue
+		}
+		for proj, dump := range bd {
+			odump, ok := od[proj]
+			if !ok {
+				continue
+			}
+			n++
+			if dump != odump {
+				t.Fatalf("%s: index postings diverged on %s proj %s:\n%s\nvs\n%s", ctx, name, proj, dump, odump)
+			}
+		}
+	}
+	return n
+}
+
 // forceParallel drops the view layer's batch-size threshold to 1 so the
 // test's modest batches exercise the parallel path.
 func forceParallel(t *testing.T, e fivm.AnyEngine, workers int) {
@@ -88,11 +173,14 @@ func equivRelations() []fivm.RelationSpec {
 	}
 }
 
-// equivStream builds a mixed insert/delete stream over the relations
-// with small integer values (so every float sum is exact and "identical"
-// means bit-identical). Deletes target live tuples, so payloads cancel
-// to zero mid-stream.
-func equivStream(rnd *rand.Rand, n int) []view.Update {
+// equivStreamDomain builds a mixed insert/delete stream over the
+// relations with integer values in [0, domain) (so every float sum is
+// exact and "identical" means bit-identical). Deletes target live
+// tuples, so payloads cancel to zero mid-stream. The domain bounds the
+// distinct-tuple space: tests that must push coalesced per-relation
+// deltas past DefaultParallelThreshold need a domain whose tuple space
+// clears it (domain² distinct tuples per relation).
+func equivStreamDomain(rnd *rand.Rand, n, domain int) []view.Update {
 	rels := equivRelations()
 	live := map[string][]value.Tuple{}
 	var ups []view.Update
@@ -106,7 +194,7 @@ func equivStream(rnd *rand.Rand, n int) []view.Update {
 		}
 		tp := make(value.Tuple, len(r.Attrs))
 		for i := range tp {
-			tp[i] = value.Int(int64(rnd.Intn(5)))
+			tp[i] = value.Int(int64(rnd.Intn(domain)))
 		}
 		ups = append(ups, view.Update{Rel: r.Name, Tuple: tp, Mult: 1})
 		live[r.Name] = append(live[r.Name], tp)
@@ -114,11 +202,32 @@ func equivStream(rnd *rand.Rand, n int) []view.Update {
 	return ups
 }
 
+// equivStream is equivStreamDomain over the dense 5-value domain most
+// equivalence tests use.
+func equivStream(rnd *rand.Rand, n int) []view.Update {
+	return equivStreamDomain(rnd, n, 5)
+}
+
+// setWorkers configures worker count with the DEFAULT batch-size
+// threshold (view.DefaultParallelThreshold), unlike forceParallel,
+// so small batches stay sequential and only large ones fan out.
+func setWorkers(t *testing.T, e fivm.AnyEngine, workers int) {
+	t.Helper()
+	s, ok := e.(interface{ SetParallelism(int) })
+	if !ok {
+		t.Fatalf("engine %T does not expose SetParallelism", e)
+	}
+	s.SetParallelism(workers)
+}
+
 // TestParallelEquivalenceAllKinds is the correctness anchor of parallel
-// delta propagation: for every engine kind, a sequential and a
-// 4-worker engine driven through the same randomized mixed
-// insert/delete stream must hold bit-identical views, sources, results,
-// and published models after every batch.
+// delta propagation: for every engine kind, engines at worker counts
+// {0 (untouched default), 1, 2, 4, 8} driven through the same
+// randomized mixed insert/delete stream must hold bit-identical views,
+// sources, results, index postings, and published models after every
+// batch. Batch sizes straddle view.DefaultParallelThreshold (128), so
+// each configured engine keeps crossing between the sequential and
+// parallel commit paths mid-stream.
 func TestParallelEquivalenceAllKinds(t *testing.T) {
 	configs := map[fivm.Kind]fivm.Config{
 		fivm.KindCount: {
@@ -150,70 +259,94 @@ func TestParallelEquivalenceAllKinds(t *testing.T) {
 			Relations: equivRelations(),
 		},
 	}
+	// Workers 0 = engine exactly as Open returned it (the baseline the
+	// others must match); the rest route large batches through 1, 2, 4,
+	// or 8 commit workers at the default threshold.
+	workerCounts := []int{0, 1, 2, 4, 8}
+	// The cycle mixes batches well below and well above the 128-tuple
+	// threshold: a 1200-update batch leaves ~400 coalesced tuples per
+	// relation (domain 30 → 900-tuple space per relation clears it),
+	// while 90- and 64-update batches stay sequential on every engine.
+	batchSizes := []int{90, 1200, 130, 64, 700, 96, 400}
 	for kind, cfg := range configs {
 		t.Run(string(kind), func(t *testing.T) {
-			seq, err := fivm.Open(cfg)
-			if err != nil {
-				t.Fatal(err)
+			engines := make([]fivm.AnyEngine, len(workerCounts))
+			for i, w := range workerCounts {
+				e, err := fivm.Open(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := e.Kind(); got != kind {
+					t.Fatalf("Open built a %s engine, want %s", got, kind)
+				}
+				if w > 0 {
+					setWorkers(t, e, w)
+				}
+				engines[i] = e
 			}
-			par, err := fivm.Open(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := par.Kind(); got != kind {
-				t.Fatalf("Open built a %s engine, want %s", got, kind)
-			}
-			forceParallel(t, par, 4)
 
 			rnd := rand.New(rand.NewSource(99))
 			init := map[string][]value.Tuple{}
 			for _, r := range equivRelations() {
-				for i := 0; i < 25; i++ {
+				for i := 0; i < 60; i++ {
 					tp := make(value.Tuple, len(r.Attrs))
 					for j := range tp {
-						tp[j] = value.Int(int64(rnd.Intn(5)))
+						tp[j] = value.Int(int64(rnd.Intn(30)))
 					}
 					init[r.Name] = append(init[r.Name], tp)
 				}
 			}
-			if err := seq.Init(init); err != nil {
-				t.Fatal(err)
-			}
-			if err := par.Init(init); err != nil {
-				t.Fatal(err)
+			for _, e := range engines {
+				if err := e.Init(init); err != nil {
+					t.Fatal(err)
+				}
 			}
 
-			ups := equivStream(rnd, 500)
-			const batch = 80
-			for i := 0; i < len(ups); i += batch {
-				end := i + batch
+			ups := equivStreamDomain(rnd, 2800, 30)
+			comparedIndexes := 0
+			start, bi := 0, 0
+			for start < len(ups) {
+				end := start + batchSizes[bi%len(batchSizes)]
+				bi++
 				if end > len(ups) {
 					end = len(ups)
 				}
-				if err := seq.Apply(ups[i:end]); err != nil {
-					t.Fatal(err)
+				for _, e := range engines {
+					if err := e.Apply(ups[start:end]); err != nil {
+						t.Fatal(err)
+					}
 				}
-				if err := par.Apply(ups[i:end]); err != nil {
-					t.Fatal(err)
+				base := snapshotState(t, engines[0])
+				baseIx := snapshotIndexes(t, engines[0])
+				for i, e := range engines[1:] {
+					if got := snapshotState(t, e); got != base {
+						t.Fatalf("state diverged after batch ending at %d (workers %d):\nbaseline:\n%s\nvs:\n%s",
+							end, workerCounts[i+1], base, got)
+					}
+					comparedIndexes += compareIndexes(t, baseIx, snapshotIndexes(t, e),
+						fmt.Sprintf("batch ending at %d, workers %d", end, workerCounts[i+1]))
 				}
-				s, p := snapshotState(t, seq), snapshotState(t, par)
-				if s != p {
-					t.Fatalf("state diverged after batch ending at %d:\nsequential:\n%s\nparallel:\n%s", end, s, p)
-				}
+				start = end
+			}
+			if comparedIndexes == 0 {
+				t.Fatal("no index postings were compared; the equivalence check is vacuous")
 			}
 
 			// Published models must agree too (the analysis ridge fit is
 			// iterative float math, deterministic given identical payloads).
-			sj, serr := seq.PublishModel(nil).ResultJSON()
-			pj, perr := par.PublishModel(nil).ResultJSON()
-			if (serr == nil) != (perr == nil) {
-				t.Fatalf("model render: sequential err %v, parallel err %v", serr, perr)
-			}
-			if serr == nil {
-				sb, _ := json.Marshal(sj)
-				pb, _ := json.Marshal(pj)
-				if string(sb) != string(pb) {
-					t.Fatalf("published models diverged:\n%s\nvs\n%s", sb, pb)
+			bj, berr := engines[0].PublishModel(nil).ResultJSON()
+			for i, e := range engines[1:] {
+				ej, eerr := e.PublishModel(nil).ResultJSON()
+				if (berr == nil) != (eerr == nil) {
+					t.Fatalf("model render: baseline err %v, workers %d err %v", berr, workerCounts[i+1], eerr)
+				}
+				if berr != nil {
+					continue
+				}
+				bb, _ := json.Marshal(bj)
+				eb, _ := json.Marshal(ej)
+				if string(bb) != string(eb) {
+					t.Fatalf("published models diverged (workers %d):\n%s\nvs\n%s", workerCounts[i+1], bb, eb)
 				}
 			}
 		})

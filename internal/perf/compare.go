@@ -212,6 +212,99 @@ func CheckScaling(rep *Report, maxGrowth float64) (findings []Finding, ok bool) 
 	return findings, ok
 }
 
+// DefaultMinParallelSpeedup is CheckParallel's floor on the 4-worker /
+// 1-worker E2FIVM throughput ratio. With commit fused into the
+// per-partition workers the whole maintenance path scales, so 4 workers
+// on >= 4 cores comfortably clear 2x (propagation alone cleared less —
+// Amdahl with a sequential commit tail); a return to a serialized
+// commit, a lock held across a whole batch, or partitioning being
+// silently skipped all push the ratio back toward (or below) 1.
+const DefaultMinParallelSpeedup = 2.0
+
+// checkParallelMinCPU is the core count below which CheckParallel
+// cannot measure parallelism and reports a skip note instead of a
+// verdict.
+const checkParallelMinCPU = 4
+
+// CheckParallel verifies multi-worker speedup WITHIN one report — both
+// worker counts of an E8Workers family run in the same suite invocation
+// on the same host, so like CheckScaling the gate is
+// hardware-independent and needs no cross-machine baseline: the
+// 4-worker E2FIVM run must sustain at least minSpeedup times the
+// 1-worker throughput. Reports recorded with GOMAXPROCS below
+// checkParallelMinCPU (the 1-CPU dev box) get a skip note and pass —
+// the hardware cannot express the parallelism the gate measures.
+// Additional "<family>/workersN" families in the report (e.g.
+// E8WorkersCategorical) are reported informationally without gating.
+func CheckParallel(rep *Report, minSpeedup float64) (findings []Finding, ok bool) {
+	if rep.GOMAXPROCS < checkParallelMinCPU {
+		return []Finding{{Name: "(parallel)", Kind: FindingNote,
+			Detail: fmt.Sprintf("report recorded with GOMAXPROCS=%d < %d: %d-worker speedup is not measurable on this host, gate skipped",
+				rep.GOMAXPROCS, checkParallelMinCPU, checkParallelMinCPU)}}, true
+	}
+	const gated = "E8Workers"
+	type rates struct{ one, four float64 }
+	families := map[string]*rates{}
+	order := []string{}
+	for _, r := range rep.Results {
+		family, workers, found := strings.Cut(r.Name, "/workers")
+		if !found {
+			continue
+		}
+		e := families[family]
+		if e == nil {
+			e = &rates{}
+			families[family] = e
+			order = append(order, family)
+		}
+		// Prefer the rate metric; fall back to inverse latency so a
+		// family without reportRate still yields a ratio.
+		rate := r.UpdatesPerSec
+		if rate == 0 && r.NsPerOp > 0 {
+			rate = 1e9 / r.NsPerOp
+		}
+		switch workers {
+		case "1":
+			e.one = rate
+		case "4":
+			e.four = rate
+		}
+	}
+	ok = true
+	if families[gated] == nil {
+		return []Finding{regression("(parallel)",
+			fmt.Sprintf("no %s/workers{1,4} entries in the report — the parallel-speedup gate has nothing to check", gated))}, false
+	}
+	for _, family := range order {
+		e := families[family]
+		if e.one <= 0 || e.four <= 0 {
+			if family == gated {
+				ok = false
+				findings = append(findings, regression(family,
+					"missing a workers1 or workers4 endpoint — the family's speedup cannot be checked"))
+			}
+			continue
+		}
+		speedup := e.four / e.one
+		switch {
+		case family == gated && speedup < minSpeedup:
+			ok = false
+			findings = append(findings, regression(family,
+				fmt.Sprintf("4-worker throughput is %.2fx the 1-worker run (%.0f -> %.0f updates/sec, floor %.1fx): parallel commit is not scaling",
+					speedup, e.one, e.four, minSpeedup)))
+		case family == gated:
+			findings = append(findings, Finding{Name: family, Kind: FindingNote,
+				Detail: fmt.Sprintf("4-worker speedup %.2fx (%.0f -> %.0f updates/sec, floor %.1fx)",
+					speedup, e.one, e.four, minSpeedup)})
+		default:
+			findings = append(findings, Finding{Name: family, Kind: FindingNote,
+				Detail: fmt.Sprintf("4-worker speedup %.2fx (%.0f -> %.0f updates/sec, informational)",
+					speedup, e.one, e.four)})
+		}
+	}
+	return findings, ok
+}
+
 // WriteFindings renders findings as one line each, tagged by kind
 // (REGRESSION lines grep cleanly in CI logs), followed by a summary
 // that counts suite drift so a refreshed suite against an old baseline

@@ -319,3 +319,92 @@ func TestCompareRefreshedSuiteAgainstOldBaseline(t *testing.T) {
 		t.Fatalf("additions must not render as regressions:\n%s", out)
 	}
 }
+
+// TestCheckParallelSpeedupPasses: a report from a >=4-core host whose
+// 4-worker E2FIVM run clears the floor passes, with one note for the
+// gated family and informational notes for the rest.
+func TestCheckParallelSpeedupPasses(t *testing.T) {
+	rep := report(
+		Result{Name: "E8Workers/workers1", UpdatesPerSec: 100_000},
+		Result{Name: "E8Workers/workers4", UpdatesPerSec: 270_000},
+		Result{Name: "E8WorkersCategorical/workers1", UpdatesPerSec: 10_000},
+		Result{Name: "E8WorkersCategorical/workers4", UpdatesPerSec: 15_000}, // below floor but ungated
+	)
+	rep.GOMAXPROCS = 4
+	findings, ok := CheckParallel(rep, DefaultMinParallelSpeedup)
+	if !ok {
+		t.Fatalf("2.7x speedup must pass: %+v", findings)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("expected one note per family, got %+v", findings)
+	}
+	for _, f := range findings {
+		if f.Kind != FindingNote {
+			t.Fatalf("passing family should be a note: %+v", f)
+		}
+	}
+}
+
+// TestCheckParallelBelowFloorFails: 4-worker throughput under the floor
+// is exactly the Amdahl regression the gate exists for.
+func TestCheckParallelBelowFloorFails(t *testing.T) {
+	rep := report(
+		Result{Name: "E8Workers/workers1", UpdatesPerSec: 100_000},
+		Result{Name: "E8Workers/workers4", UpdatesPerSec: 150_000}, // 1.5x < 2x
+	)
+	rep.GOMAXPROCS = 8
+	findings, ok := CheckParallel(rep, DefaultMinParallelSpeedup)
+	if ok {
+		t.Fatalf("1.5x speedup must fail: %+v", findings)
+	}
+	if len(findings) != 1 || !findings[0].IsRegression() {
+		t.Fatalf("expected one regression, got %+v", findings)
+	}
+}
+
+// TestCheckParallelSmallHostSkips: below 4 CPUs the hardware cannot
+// express the parallelism; the gate must pass with a skip note rather
+// than fail a 1-CPU dev box.
+func TestCheckParallelSmallHostSkips(t *testing.T) {
+	rep := report(
+		Result{Name: "E8Workers/workers1", UpdatesPerSec: 100_000},
+		Result{Name: "E8Workers/workers4", UpdatesPerSec: 90_000}, // negative scaling, typical of 1 CPU
+	)
+	rep.GOMAXPROCS = 1
+	findings, ok := CheckParallel(rep, DefaultMinParallelSpeedup)
+	if !ok {
+		t.Fatalf("small host must skip, not fail: %+v", findings)
+	}
+	if len(findings) != 1 || findings[0].Kind != FindingNote {
+		t.Fatalf("expected a single skip note, got %+v", findings)
+	}
+}
+
+// TestCheckParallelMissingEntriesFails: a 4-core report without the
+// E8Workers family (or with one endpoint filtered away) must fail
+// loudly, mirroring the scalingcheck rule.
+func TestCheckParallelMissingEntriesFails(t *testing.T) {
+	rep := report(Result{Name: "E2FIVM", UpdatesPerSec: 100_000})
+	rep.GOMAXPROCS = 4
+	if _, ok := CheckParallel(rep, DefaultMinParallelSpeedup); ok {
+		t.Fatal("report without E8Workers entries must fail the gate")
+	}
+	rep = report(Result{Name: "E8Workers/workers1", UpdatesPerSec: 100_000})
+	rep.GOMAXPROCS = 4
+	if _, ok := CheckParallel(rep, DefaultMinParallelSpeedup); ok {
+		t.Fatal("report with only one endpoint must fail the gate")
+	}
+}
+
+// TestCheckParallelNsFallback: a family without a rate metric still
+// yields a ratio through inverse latency.
+func TestCheckParallelNsFallback(t *testing.T) {
+	rep := report(
+		Result{Name: "E8Workers/workers1", NsPerOp: 1000},
+		Result{Name: "E8Workers/workers4", NsPerOp: 400}, // 2.5x
+	)
+	rep.GOMAXPROCS = 4
+	if findings, ok := CheckParallel(rep, DefaultMinParallelSpeedup); !ok {
+		t.Fatalf("2.5x inverse-latency speedup must pass: %+v", findings)
+	}
+}

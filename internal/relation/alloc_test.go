@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/value"
+)
+
+// TestArenaRecyclesAnnihilatedEntries drives an insert/cancel cycle and
+// checks the annihilated entry struct is reused by the next insert —
+// the delete-heavy-stream property the arena exists for.
+func TestArenaRecyclesAnnihilatedEntries(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A"))
+	m.Merge(z, value.T(1), 3)
+	e1 := m.data[value.T(1).Encode()]
+	m.Merge(z, value.T(1), -3) // annihilate
+	if m.Len() != 0 {
+		t.Fatal("entry not removed on cancellation")
+	}
+	if len(m.arena.free) != 1 {
+		t.Fatalf("free list has %d entries, want 1", len(m.arena.free))
+	}
+	if e1.tuple != nil || e1.payload != 0 {
+		t.Fatal("recycled entry still pins tuple/payload")
+	}
+	m.Merge(z, value.T(2), 7)
+	e2 := m.data[value.T(2).Encode()]
+	if e1 != e2 {
+		t.Fatal("fresh insert did not reuse the recycled entry")
+	}
+	if len(m.arena.free) != 0 {
+		t.Fatal("free list not drained by reuse")
+	}
+	if got, _ := m.Get(value.T(2)); got != 7 {
+		t.Fatalf("reused entry payload = %d", got)
+	}
+}
+
+// TestArenaResetRecyclesOwnedEntries: Reset on an owning map parks all
+// its entries; the refill reuses them without growing the slab.
+func TestArenaResetRecyclesOwnedEntries(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A"))
+	for i := 0; i < 20; i++ {
+		m.Merge(z, value.T(int64(i)), 1)
+	}
+	m.Reset()
+	if len(m.arena.free) != 20 {
+		t.Fatalf("free list has %d entries after Reset, want 20", len(m.arena.free))
+	}
+	slabLeft := len(m.arena.slab)
+	for i := 0; i < 20; i++ {
+		m.Merge(z, value.T(int64(100+i)), 1)
+	}
+	if len(m.arena.slab) != slabLeft {
+		t.Fatal("refill carved fresh slab entries instead of reusing recycled ones")
+	}
+	if m.Len() != 20 {
+		t.Fatalf("refilled Len = %d", m.Len())
+	}
+}
+
+// TestArenaPartitionSlotsDoNotRecycleForeignEntries: a PartitionInto
+// destination aliases the source's entries, so resetting it must NOT
+// park them in the slot's own arena (that would hand the same entry out
+// from two maps).
+func TestArenaPartitionSlotsDoNotRecycleForeignEntries(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A", "B"))
+	for i := 0; i < 32; i++ {
+		m.Merge(z, value.T(int64(i), int64(i%4)), 1)
+	}
+	slots := make([]*Map[int64], 4)
+	parts := m.PartitionInto(slots, []int{0})
+	for _, p := range parts {
+		if !p.foreign {
+			t.Fatal("partition slot not marked foreign")
+		}
+	}
+	// Reset every slot (as the maintenance loop does after commit): no
+	// foreign entry may land in a slot arena, and the source must be
+	// untouched.
+	for _, p := range parts {
+		p.Reset()
+		if len(p.arena.free) != 0 {
+			t.Fatal("foreign map recycled entries it does not own")
+		}
+	}
+	if m.Len() != 32 {
+		t.Fatal("source map damaged by partition slot Reset")
+	}
+	for i := 0; i < 32; i++ {
+		if got, ok := m.Get(value.T(int64(i), int64(i%4))); !ok || got != 1 {
+			t.Fatalf("source entry %d corrupted after slot Reset: %d, %v", i, got, ok)
+		}
+	}
+	// The n==1 fast path aliases too.
+	one := m.PartitionInto(make([]*Map[int64], 1), []int{0})
+	if !one[0].foreign {
+		t.Fatal("single-slot partition not marked foreign")
+	}
+}
+
+// TestArenaIndexConsistencyUnderChurn hammers an indexed map with
+// inserts and annihilations (exercising postings recycling) and
+// verifies the index against the primary contents throughout.
+func TestArenaIndexConsistencyUnderChurn(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A", "B"))
+	m.AddIndex([]int{1})
+	m.Merge(z, value.T(int64(-1), int64(0)), 1)
+	// Force the lazy build through the probe path (the probed side must
+	// be non-empty or the join short-circuits before ensure).
+	d := New[int64](s("B", "C"))
+	d.Merge(z, value.T(int64(0), int64(0)), 1)
+	JoinProbeWith(PlanJoin(d.Schema(), m.Schema()), z, d, m)
+	m.Merge(z, value.T(int64(-1), int64(0)), -1)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			m.Merge(z, value.T(int64(round*10+i), int64(i%3)), 1)
+		}
+		// Annihilate every other tuple of the round.
+		for i := 0; i < 10; i += 2 {
+			m.Merge(z, value.T(int64(round*10+i), int64(i%3)), -1)
+		}
+		if err := m.VerifyIndexes(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if m.Len() != 50*5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	dumps := m.IndexDumps()
+	if len(dumps) != 1 {
+		t.Fatalf("IndexDumps returned %d indexes, want 1", len(dumps))
+	}
+}
+
+// TestVerifyIndexesCatchesCorruption plants a deliberate inconsistency
+// and checks VerifyIndexes reports it (guarding the guard).
+func TestVerifyIndexesCatchesCorruption(t *testing.T) {
+	z := ring.Ints{}
+	m := New[int64](s("A", "B"))
+	m.AddIndex([]int{1})
+	m.indexes[0].ensure(m)
+	m.Merge(z, value.T(int64(1), int64(2)), 1)
+	m.Merge(z, value.T(int64(2), int64(2)), 1)
+	if err := m.VerifyIndexes(); err != nil {
+		t.Fatalf("consistent index flagged: %v", err)
+	}
+	// Corrupt: drop one entry from pos.
+	for e := range m.indexes[0].pos {
+		delete(m.indexes[0].pos, e)
+		break
+	}
+	if err := m.VerifyIndexes(); err == nil {
+		t.Fatal("corrupted index passed verification")
+	}
+}

@@ -33,7 +33,11 @@
 //     the pure ring Add and only ever REPLACE a stored payload, so
 //     payloads may be shared freely with clones, snapshots, and other
 //     relations. Entry structs, by contrast, are owned by their map:
-//     Clone and MergeAll allocate fresh ones.
+//     Clone and MergeAll allocate fresh ones. Ownership is what lets
+//     each map slab-allocate its entries from a per-map arena and
+//     recycle them on annihilation and Reset (alloc.go) — the only
+//     aliasing exception, PartitionInto slots, is tracked by a foreign
+//     flag that disables recycling there.
 //   - Join and Aggregate OWN their output maps while building them and
 //     fold into freshly-created payloads in place via the ring's
 //     optional Scratch/FMA extensions. A payload stored from shared

@@ -22,9 +22,11 @@ import (
 // matters because the view tree registers indexes for every possible
 // delta direction while most workloads update few relations. The first
 // probe may run on a concurrent propagate worker, so the build is
-// guarded by a sync.Once; mutation and probing are never concurrent
-// under the Map's single-writer contract (the parallel propagate phase
-// only reads, and the commit phase that writes is single-threaded).
+// guarded by a sync.Once; mutation and probing are never concurrent:
+// propagation probes only OFF-path maps while commit mutates only
+// ON-path ones, and concurrent commit workers serialize their
+// mutations of one map — primary entries, postings, and position table
+// together — under that map's merge lock (view.Node.mu).
 //
 // Indexes are what makes delta propagation O(|delta|): JoinProbeWith
 // looks join matches up here instead of scanning the whole relation
@@ -33,9 +35,10 @@ type index[V any] struct {
 	proj []int
 	once sync.Once
 	// built flips true inside once. Mutators read it to skip unbuilt
-	// indexes; the propagate/commit phase boundary (wg.Wait in the
-	// parallel path, program order in the sequential one) orders a
-	// worker's build before any later mutation.
+	// indexes; a build always happens on a map that is off-path for the
+	// delta being applied (probes read only off-path state), so it is
+	// ordered before any later mutation by the end of that ApplyDelta
+	// call (wg.Wait in the parallel path, program order otherwise).
 	built bool
 	data  map[string]*postings[V]
 	// pos maps each indexed entry to its postings list and slot, so
@@ -45,6 +48,35 @@ type index[V any] struct {
 	// lookup either; the projected key is only re-encoded when a bucket
 	// empties out and its map entry must go.
 	pos map[*entry[V]]slot[V]
+	// Postings structs are slab-allocated in chunks and recycled when a
+	// bucket empties (keeping the entries slice capacity), mirroring the
+	// entry arena: a churn-heavy stream creates and empties join-key
+	// buckets constantly and must not pay one allocation per bucket.
+	postSlab []postings[V]
+	postFree []*postings[V]
+}
+
+// postingsSlabSize is the postings chunk size; buckets are only created
+// on long-lived indexed maps, so a fixed mid-size chunk is fine.
+const postingsSlabSize = 64
+
+// newPostings returns a single-entry postings list, recycled or carved
+// from the slab.
+func (ix *index[V]) newPostings(e *entry[V]) *postings[V] {
+	if n := len(ix.postFree); n > 0 {
+		p := ix.postFree[n-1]
+		ix.postFree[n-1] = nil
+		ix.postFree = ix.postFree[:n-1]
+		p.entries = append(p.entries, e)
+		return p
+	}
+	if len(ix.postSlab) == 0 {
+		ix.postSlab = make([]postings[V], postingsSlabSize)
+	}
+	p := &ix.postSlab[0]
+	ix.postSlab = ix.postSlab[1:]
+	p.entries = append(p.entries, e)
+	return p
 }
 
 type postings[V any] struct {
@@ -121,7 +153,7 @@ func (ix *index[V]) add(key []byte, e *entry[V]) {
 		ix.pos[e] = slot[V]{p: p, i: len(p.entries)}
 		p.entries = append(p.entries, e)
 	} else {
-		p := &postings[V]{entries: []*entry[V]{e}}
+		p := ix.newPostings(e)
 		ix.data[string(key)] = p
 		ix.pos[e] = slot[V]{p: p}
 	}
@@ -186,15 +218,23 @@ func (m *Map[V]) indexRemove(e *entry[V]) {
 		if len(p.entries) == 0 {
 			kbuf := e.tuple.AppendEncodeProject(arr[:0], ix.proj)
 			delete(ix.data, string(kbuf))
+			ix.postFree = append(ix.postFree, p)
 		}
 	}
 }
 
 // resetIndexes empties every built index alongside Reset, keeping the
-// registrations (and allocated buckets) for the refill.
+// registrations (and recycled postings) for the refill.
 func (m *Map[V]) resetIndexes() {
 	for _, ix := range m.indexes {
 		if ix.built {
+			for _, p := range ix.data {
+				for i := range p.entries {
+					p.entries[i] = nil
+				}
+				p.entries = p.entries[:0]
+				ix.postFree = append(ix.postFree, p)
+			}
 			clear(ix.data)
 			clear(ix.pos)
 		}

@@ -48,6 +48,7 @@ func fold[V any](r ring.Ring[V], sc ring.Scratch[V], out *Map[V], buf []byte, p 
 			// always freshly allocated, never indexed (indexes live on
 			// long-lived maps mutated through Merge/MergeAll/Set).
 			delete(out.data, string(buf))
+			out.recycleEntry(e)
 		} else {
 			e.payload = s
 			e.shared = false
@@ -183,6 +184,7 @@ func joinMatches[V any](out *Map[V], r ring.Ring[V], sc ring.Scratch[V], fma rin
 			}
 			if r.IsZero(s) {
 				delete(out.data, string(obuf))
+				out.recycleEntry(e)
 			} else {
 				e.payload = s
 				e.shared = false
@@ -203,7 +205,7 @@ func joinMatches[V any](out *Map[V], r ring.Ring[V], sc ring.Scratch[V], fma rin
 				t[i] = pe.tuple[srcPos[i]]
 			}
 		}
-		out.data[string(obuf)] = &entry[V]{tuple: t, payload: p}
+		out.data[string(obuf)] = out.newEntry(t, p, false)
 	}
 	return obuf
 }
@@ -418,7 +420,7 @@ func AggregateWith[V any](plan *AggPlan, r ring.Ring[V], m *Map[V], lift ring.Li
 			// A payload read straight from the input (no lift) stays
 			// shared: fold copy-on-writes it via one pure Add if the
 			// group is ever hit again.
-			out.data[string(kbuf)] = &entry[V]{tuple: e.tuple.Project(proj), payload: p, shared: !owned}
+			out.data[string(kbuf)] = out.newEntry(e.tuple.Project(proj), p, !owned)
 		}
 	}
 	return out

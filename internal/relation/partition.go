@@ -59,6 +59,9 @@ func (m *Map[V]) PartitionInto(out []*Map[V], keyIdx []int) []*Map[V] {
 			}
 			p.Reset()
 		}
+		// The slots will alias m's entries; they must never recycle them
+		// into their own arenas on Reset (see Map.foreign).
+		out[i].foreign = true
 	}
 	n := len(out)
 	if n == 1 {

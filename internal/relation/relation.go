@@ -30,6 +30,16 @@ type Map[V any] struct {
 	// registers them on the materialized views and source relations that
 	// delta propagation probes.
 	indexes []*index[V]
+	// arena slab-allocates this map's entry structs and recycles
+	// annihilated ones (see alloc.go).
+	arena arena[V]
+	// foreign marks a map that holds entry structs owned by ANOTHER map
+	// (a PartitionInto destination slot aliases the source's entries).
+	// Reset on a foreign map only clears the container — recycling
+	// someone else's entries into this map's arena would hand the same
+	// entry out twice. The flag is sticky: once a map has aliased
+	// foreign entries it never recycles on Reset again.
+	foreign bool
 }
 
 type entry[V any] struct {
@@ -56,11 +66,21 @@ func (m *Map[V]) Len() int { return len(m.data) }
 
 // Reset removes every tuple while keeping the schema and the map's
 // allocated capacity, so scratch relations (per-engine delta buffers,
-// partition slots) can be refilled without reallocating. Entries handed
-// out earlier (e.g. payloads merged into another relation) are
-// unaffected: Reset only clears the container. Registered indexes stay
+// partition slots) can be refilled without reallocating. Payloads
+// handed out earlier (e.g. merged into another relation) are
+// unaffected, but the entry STRUCTS of a map that owns them are
+// recycled into the map's arena for the refill — so a map must not be
+// Reset while partitions of it are still in use (PartitionInto slots
+// alias the source's entries; the maintenance loop clears its slots
+// before the delta buffer is ever Reset). Foreign maps — partition
+// slots themselves — only clear the container. Registered indexes stay
 // registered and are emptied alongside the data.
 func (m *Map[V]) Reset() {
+	if !m.foreign {
+		for _, e := range m.data {
+			m.arena.recycle(e)
+		}
+	}
 	clear(m.data)
 	m.resetIndexes()
 }
@@ -94,7 +114,7 @@ func (m *Map[V]) Set(t value.Tuple, p V) {
 		e.shared = true
 		return
 	}
-	e := &entry[V]{tuple: t, payload: p, shared: true}
+	e := m.newEntry(t, p, true)
 	m.data[k] = e
 	m.indexInsert(e)
 }
@@ -114,6 +134,7 @@ func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
 		if r.IsZero(s) {
 			delete(m.data, string(buf))
 			m.indexRemove(e)
+			m.recycleEntry(e)
 		} else {
 			e.payload = s
 			e.shared = true
@@ -121,7 +142,7 @@ func (m *Map[V]) Merge(r ring.Ring[V], t value.Tuple, p V) {
 		return
 	}
 	if !r.IsZero(p) {
-		e := &entry[V]{tuple: t, payload: p, shared: true}
+		e := m.newEntry(t, p, true)
 		m.data[string(buf)] = e
 		m.indexInsert(e)
 	}
@@ -141,11 +162,12 @@ func (m *Map[V]) MergeAll(r ring.Ring[V], other *Map[V]) {
 			if r.IsZero(s) {
 				delete(m.data, k)
 				m.indexRemove(ex)
+				m.recycleEntry(ex)
 			} else {
 				ex.payload = s
 			}
 		} else if !r.IsZero(e.payload) {
-			ne := &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
+			ne := m.newEntry(e.tuple, e.payload, true)
 			m.data[k] = ne
 			m.indexInsert(ne)
 		}
@@ -181,7 +203,7 @@ func (m *Map[V]) EachSorted(fn func(t value.Tuple, p V)) {
 func (m *Map[V]) Clone() *Map[V] {
 	out := &Map[V]{schema: m.schema, data: make(map[string]*entry[V], len(m.data))}
 	for k, e := range m.data {
-		out.data[k] = &entry[V]{tuple: e.tuple, payload: e.payload, shared: true}
+		out.data[k] = out.newEntry(e.tuple, e.payload, true)
 	}
 	return out
 }
@@ -192,7 +214,7 @@ func (m *Map[V]) Clone() *Map[V] {
 func (m *Map[V]) Negate(r ring.Ring[V]) *Map[V] {
 	out := &Map[V]{schema: m.schema, data: make(map[string]*entry[V], len(m.data))}
 	for k, e := range m.data {
-		out.data[k] = &entry[V]{tuple: e.tuple, payload: r.Neg(e.payload), shared: true}
+		out.data[k] = out.newEntry(e.tuple, r.Neg(e.payload), true)
 	}
 	return out
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/fivm"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// TestKillDuringParallelCommitRecoversAckedPrefix is the durability
+// proof for the parallel commit path: the engine runs with 4 workers
+// and every ingested batch carries more distinct tuples than
+// view.DefaultParallelThreshold, so both the live applies and the
+// recovery replay fan out across commit workers. The writer is killed
+// mid-batch by the same torn-write fault injector as the sequential
+// kill test, and the recovered engine must be bit-identical to a clean
+// parallel engine that applied exactly the acknowledged prefix —
+// proving a crash cannot expose a half-committed parallel batch.
+func TestKillDuringParallelCommitRecoversAckedPrefix(t *testing.T) {
+	const workers = 4
+	// More distinct tuples per batch than the default parallel threshold
+	// (128), so every R batch takes the concurrent commit path.
+	const batchTuples = 160
+	for name, cfg := range walEngineConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Workers = workers
+			dir := t.TempDir()
+			var budget atomic.Int64
+			budget.Store(30_000) // a few full R batches, then a torn write
+			w, err := wal.Open(wal.Config{
+				Dir:           dir,
+				Fsync:         wal.PolicyInterval,
+				FsyncInterval: time.Hour, // isolate the torn write as the only fault
+				OpenSegment:   tornOpenSegment("R", &budget),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := New(eng, Config{WAL: w, CheckpointInterval: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			acked := make([]view.Update, 0, 4096)
+			done, err := srv.Ingest(walSSeeds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-done
+			acked = append(acked, walSSeeds()...)
+
+			crashed := false
+			next := 0
+			for b := 0; b < 64 && !crashed; b++ {
+				batch := make([]view.Update, 0, batchTuples)
+				for i := 0; i < batchTuples; i++ {
+					batch = append(batch, walRUpdate(next))
+					next++
+				}
+				done, err := srv.Ingest(batch)
+				if err != nil {
+					crashed = true
+					break
+				}
+				select {
+				case <-done:
+					acked = append(acked, batch...)
+				case <-srv.crashed:
+					// The in-flight batch tore mid-append while its parallel
+					// commit was pending: never acknowledged, must not be
+					// recovered.
+					crashed = true
+				}
+			}
+			if !crashed {
+				t.Fatal("fault injection never fired — raise the batch count or lower the byte budget")
+			}
+			if _, err := srv.Ingest([]view.Update{walRUpdate(0)}); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("Ingest after crash = %v, want ErrCrashed", err)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recover from the real files into a fresh engine with the SAME
+			// worker configuration, so the replay itself exercises parallel
+			// commits, and compare against a clean parallel engine that
+			// applied exactly the acknowledged prefix.
+			w2, err := wal.Open(wal.Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := Recover(recovered, w2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if info.ReplayedUpdates != uint64(len(acked)) {
+				t.Fatalf("recovery replayed %d updates, want the %d acknowledged", info.ReplayedUpdates, len(acked))
+			}
+
+			clean, err := fivm.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clean.Apply(acked); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := modelJSON(t, recovered), modelJSON(t, clean); got != want {
+				t.Fatalf("recovered model diverges from the acknowledged prefix:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}

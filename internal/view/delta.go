@@ -27,9 +27,10 @@ type Update struct {
 // The work splits into a read-only propagation (compute the delta view
 // at every path node — see propagate) and a commit (merge those deltas
 // into the views with the ring addition). When SetParallelism has
-// enabled workers and the delta is large enough, the propagation runs
-// hash-partitioned across goroutines; the resulting views are identical
-// either way.
+// enabled workers and the delta is large enough, both run
+// hash-partitioned across goroutines — each worker propagates its
+// partition and commits it under per-view merge locks; the resulting
+// views are identical either way.
 func (t *Tree[V]) ApplyDelta(name string, delta *relation.Map[V]) error {
 	src, ok := t.sources[name]
 	if !ok {

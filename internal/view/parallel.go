@@ -3,6 +3,7 @@ package view
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -13,31 +14,36 @@ import (
 // batches.
 const DefaultParallelThreshold = 128
 
-// SetParallelism enables hash-partitioned parallel delta propagation.
+// SetParallelism enables hash-partitioned parallel delta maintenance.
 // ApplyDelta splits each incoming delta into `workers` partitions by the
-// hash of the anchor node's join key, propagates every partition
-// leaf-to-root on its own goroutine, and merges the per-partition delta
-// views into the tree with the ring addition. workers <= 0 selects
+// hash of the anchor node's join key and runs one fused
+// propagate+commit worker per live partition: the worker propagates its
+// partition leaf-to-root and immediately merges the resulting delta
+// views into the tree under short per-map merge locks, so both phases
+// scale with workers (PR 3 parallelized only propagation; the
+// sequential commit tail it left is gone). workers <= 0 selects
 // runtime.GOMAXPROCS(0); workers == 1 restores the sequential path.
 // minBatch <= 0 selects DefaultParallelThreshold; deltas smaller than
 // minBatch are applied sequentially regardless of workers.
 //
-// Correctness rests on two properties the propagation step already has:
-// propagation only READS off-path state (sibling views, other anchored
-// relations) and only the commit WRITES path state, and the ring
-// addition used to merge is associative and commutative with payloads
-// treated as immutable (see ring.Ring). The final views are therefore
-// the same as the sequential path's, independent of partitioning —
-// bit-identical whenever ring addition is exact (integer rings, and
-// float rings over integer-valued data, which the equivalence tests
-// assert). For inexact float data the partition merges group float64
-// additions differently and may differ in the last bits; that is the
-// same rounding nondeterminism the sequential path already has across
-// runs, whose summation order follows randomized map iteration.
+// Correctness rests on two properties: propagation only READS off-path
+// state (sibling views, other anchored relations) while commit only
+// WRITES path state — each view map mutating under its own merge lock,
+// which also covers its persistent indexes and entry arena — and the
+// ring addition used to merge is associative and commutative with
+// payloads treated as immutable (see ring.Ring). The final views are
+// therefore the same as the sequential path's, independent of
+// partitioning and of commit interleaving — bit-identical whenever ring
+// addition is exact (integer rings, and float rings over integer-valued
+// data, which the equivalence tests assert). For inexact float data the
+// partition merges group float64 additions differently and may differ
+// in the last bits; that is the same rounding nondeterminism the
+// sequential path already has across runs, whose summation order
+// follows randomized map iteration.
 //
-// The tree stays single-writer: SetParallelism must not be called
-// concurrently with maintenance, and Tree remains unsafe for concurrent
-// use by multiple callers.
+// The tree stays externally single-writer: SetParallelism must not be
+// called concurrently with maintenance, and Tree remains unsafe for
+// concurrent use by multiple callers.
 func (t *Tree[V]) SetParallelism(workers, minBatch int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -129,7 +135,8 @@ func (t *Tree[V]) propagate(src *source[V], delta *relation.Map[V], path []*Node
 // commit merges one propagation into the tree: each step into its path
 // node's view and the result delta into the query result, counting the
 // merged tuples. Only commit (and the source merge in ApplyDelta)
-// writes tree state.
+// writes tree state. This is the sequential form; concurrent partition
+// workers go through commitConcurrent.
 func (t *Tree[V]) commit(p propagation[V], path []*Node[V]) {
 	for i, d := range p.steps {
 		if d.Len() == 0 {
@@ -144,21 +151,65 @@ func (t *Tree[V]) commit(p propagation[V], path []*Node[V]) {
 	}
 }
 
+// commitConcurrent is commit for a parallel-path worker: each step
+// merges into its path node's view under the node's merge lock, the
+// result delta under the tree's result lock. The locks cover the whole
+// MergeAll, so a view's primary map, its built indexes, and its entry
+// arena mutate atomically with respect to the other workers; between
+// two merges of the same node the ring addition's associativity and
+// commutativity make the interleaving order irrelevant to the final
+// payloads (exactly whenever the ring is exact — the scope documented
+// on SetParallelism). The merged tuple count is returned instead of
+// added to t.stats, which stays single-writer.
+func (t *Tree[V]) commitConcurrent(p propagation[V], path []*Node[V]) int {
+	n := 0
+	for i, d := range p.steps {
+		if d.Len() == 0 {
+			continue
+		}
+		nd := path[i]
+		nd.mu.Lock()
+		nd.view.MergeAll(t.ring, d)
+		nd.mu.Unlock()
+		n += d.Len()
+	}
+	if p.dres != nil && p.dres.Len() > 0 {
+		t.resMu.Lock()
+		t.result.MergeAll(t.ring, p.dres)
+		t.resMu.Unlock()
+		n += p.dres.Len()
+	}
+	return n
+}
+
 // applyDeltaParallel is the parallel body of ApplyDelta: partition the
-// delta by the hash of the anchor's join key, propagate each partition
-// on its own goroutine, then commit all partitions (and the source
-// merge) from the calling goroutine. Workers only read off-path state
-// and write goroutine-local maps, so the phase needs no locks; the
-// commit phase is single-threaded ring addition, whose associativity
-// and commutativity make the final state independent of the partition
-// boundaries.
+// delta by the hash of the anchor's join key and run one fused
+// propagate+commit worker per live partition. Each worker computes its
+// partition's delta views (reading only off-path state and writing
+// goroutine-local maps — no locks) and immediately merges them into the
+// path views under the per-node merge locks (commitConcurrent), so
+// commit parallelizes along with propagate and no barrier serializes
+// the two phases: a worker whose partition propagated quickly commits
+// while slower partitions are still propagating. The source-relation
+// merge overlaps the workers on the calling goroutine — src.data is
+// substituted out of every propagation (parts replaces it with the
+// partition), so no worker ever reads it.
+//
+// Exactness is the same associativity argument as before, now applied
+// per map instead of per phase: every view ends up as its old contents
+// plus the ring sum of the per-partition deltas, and the merge locks
+// only determine the ORDER of additions, which associativity and
+// commutativity make irrelevant (bit-identical for exact rings; see
+// SetParallelism for the inexact-float caveat).
 func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], path []*Node[V]) {
 	// The join key: the anchor's dependency set restricted to the
 	// relation's schema — the attributes through which this delta's
 	// effects flow upward. Tuples agreeing on it land in one partition,
-	// so partitions touch disjoint key ranges of the anchor view. An
-	// empty key (relation fully marginalized at the anchor) degrades to
-	// a full-tuple hash, which is still correct, merely key-oblivious.
+	// so partitions touch disjoint key ranges of the anchor view (upper
+	// nodes can still collide on group keys, which is what the commit
+	// locks are for). An empty key (relation fully marginalized at the
+	// anchor) degrades to a full-tuple hash, which is still correct,
+	// merely key-oblivious.
 	keyIdx := delta.PartitionKey(src.anchor.vn.Keys)
 	if len(src.parts) != t.workers {
 		src.parts = make([]*relation.Map[V], t.workers)
@@ -188,21 +239,19 @@ func (t *Tree[V]) applyDeltaParallel(src *source[V], delta *relation.Map[V], pat
 		}
 		return
 	}
-	props := make([]propagation[V], len(live))
+	var tuples atomic.Int64
 	var wg sync.WaitGroup
-	for i, part := range live {
+	for _, part := range live {
 		wg.Add(1)
-		go func(i int, part *relation.Map[V]) {
+		go func(part *relation.Map[V]) {
 			defer wg.Done()
-			props[i] = t.propagate(src, part, path, nil)
-		}(i, part)
+			p := t.propagate(src, part, path, nil)
+			tuples.Add(int64(t.commitConcurrent(p, path)))
+		}(part)
 	}
-	wg.Wait()
 	src.data.MergeAll(t.ring, delta)
-	t.stats.DeltaTuples += delta.Len()
-	for _, p := range props {
-		t.commit(p, path)
-	}
+	wg.Wait()
+	t.stats.DeltaTuples += delta.Len() + int(tuples.Load())
 	// Clear the recycled partition slots now rather than at next use:
 	// they share entries with the just-applied delta and would otherwise
 	// pin it in memory while the tree sits idle.

@@ -3,6 +3,7 @@ package view
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -34,15 +35,17 @@ func treeState[V any](t *Tree[V]) string {
 	return b.String()
 }
 
-// randomStream produces n mixed insert/delete updates over the given
-// relations with small integer values, deleting only live tuples so
-// payloads genuinely cancel to zero mid-stream.
-func randomStream(rnd *rand.Rand, rels []vo.Rel, n int) []Update {
+// biasedStream produces n mixed insert/delete updates over the given
+// relations with small integer values, deleting only live tuples (with
+// probability delBias per step) so payloads genuinely cancel to zero
+// mid-stream. High biases make annihilation — and with it the O(1)
+// index-removal path — the dominant operation.
+func biasedStream(rnd *rand.Rand, rels []vo.Rel, n int, delBias float64) []Update {
 	live := make(map[string][]value.Tuple, len(rels))
 	ups := make([]Update, 0, n)
 	for len(ups) < n {
 		r := rels[rnd.Intn(len(rels))]
-		if l := live[r.Name]; len(l) > 0 && rnd.Float64() < 0.35 {
+		if l := live[r.Name]; len(l) > 0 && rnd.Float64() < delBias {
 			i := rnd.Intn(len(l))
 			ups = append(ups, Update{Rel: r.Name, Tuple: l[i], Mult: -1})
 			live[r.Name] = append(l[:i], l[i+1:]...)
@@ -56,6 +59,12 @@ func randomStream(rnd *rand.Rand, rels []vo.Rel, n int) []Update {
 		live[r.Name] = append(live[r.Name], tp)
 	}
 	return ups
+}
+
+// randomStream is biasedStream at the moderate delete bias most
+// equivalence tests use.
+func randomStream(rnd *rand.Rand, rels []vo.Rel, n int) []Update {
+	return biasedStream(rnd, rels, n, 0.35)
 }
 
 // runEquivalence drives a sequential and a parallel tree through the
@@ -124,10 +133,39 @@ var parallelRels = []vo.Rel{
 	{Name: "T", Schema: value.NewSchema("C", "D")},
 }
 
+// testWorkerCounts derives the worker counts under test from the host
+// instead of hardcoding them: a minimal parallel config, one matched to
+// GOMAXPROCS, and an oversubscribed one — so a 16-core runner actually
+// exercises 16-way commits instead of the author's core count.
+func testWorkerCounts() []int {
+	p := runtime.GOMAXPROCS(0)
+	var ws []int
+	seen := map[int]bool{}
+	for _, w := range []int{2, p, 2 * p} {
+		if w < 2 {
+			w = 2
+		}
+		if !seen[w] {
+			seen[w] = true
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// matchedWorkers is the GOMAXPROCS-matched count (minimum 2) for tests
+// that need one representative parallel configuration.
+func matchedWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		return p
+	}
+	return 2
+}
+
 // TestParallelEquivalenceInts: the Z ring over a 3-relation chain join,
 // with and without group-by keys.
 func TestParallelEquivalenceInts(t *testing.T) {
-	for _, workers := range []int{2, 4, 8} {
+	for _, workers := range testWorkerCounts() {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
 			runEquivalence(t, func() (*Tree[int64], error) {
 				return New(Spec[int64]{Ring: ring.Ints{}, Relations: parallelRels})
@@ -137,7 +175,7 @@ func TestParallelEquivalenceInts(t *testing.T) {
 	t.Run("groupBy", func(t *testing.T) {
 		runEquivalence(t, func() (*Tree[int64], error) {
 			return New(Spec[int64]{Ring: ring.Ints{}, Relations: parallelRels, Free: []string{"B"}})
-		}, parallelRels, 4)
+		}, parallelRels, matchedWorkers())
 	})
 }
 
@@ -154,7 +192,7 @@ func TestParallelEquivalenceCovar(t *testing.T) {
 				"B": r.Lift(0), "C": r.Lift(1), "D": r.Lift(2),
 			},
 		})
-	}, parallelRels, 4)
+	}, parallelRels, matchedWorkers())
 }
 
 // TestParallelEquivalenceDisconnected: a disconnected query (two roots)
@@ -166,7 +204,7 @@ func TestParallelEquivalenceDisconnected(t *testing.T) {
 	}
 	runEquivalence(t, func() (*Tree[int64], error) {
 		return New(Spec[int64]{Ring: ring.Ints{}, Relations: rels})
-	}, rels, 4)
+	}, rels, matchedWorkers())
 }
 
 // TestParallelThresholdKeepsSmallBatchesSequential: deltas below
@@ -182,7 +220,7 @@ func TestParallelThresholdKeepsSmallBatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par.SetParallelism(4, 1_000_000) // threshold no real batch reaches
+	par.SetParallelism(matchedWorkers(), 1_000_000) // threshold no real batch reaches
 	rnd := rand.New(rand.NewSource(7))
 	ups := randomStream(rnd, parallelRels, 300)
 	if err := seq.ApplyUpdates(ups); err != nil {

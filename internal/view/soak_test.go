@@ -1,12 +1,14 @@
 package view_test
 
 // Long-running randomized soak test: a 4-relation cyclic-ish schema,
-// three rings maintained side by side over thousands of random updates,
-// each periodically cross-checked against recomputation. Run with
-// -short to skip.
+// three rings maintained side by side over thousands of random updates
+// applied in batches through the parallel commit path (worker count
+// derived from GOMAXPROCS, not hardcoded), each checkpoint
+// cross-checked against recomputation. Run with -short to skip.
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/relation"
@@ -83,6 +85,18 @@ func TestSoakThreeRingsLongStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Route the batches through the parallel commit path at a worker
+	// count matched to the host (minimum 2 so a 1-CPU runner still
+	// exercises concurrent commits), with the threshold dropped so the
+	// modest soak batches fan out.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	count.SetParallelism(workers, 1)
+	covar.SetParallelism(workers, 1)
+	ranged.SetParallelism(workers, 1)
+
 	shadow := map[string]*relation.Map[int64]{}
 	for _, r := range rels {
 		shadow[r.Name] = relation.New[int64](r.Schema)
@@ -99,7 +113,27 @@ func TestSoakThreeRingsLongStream(t *testing.T) {
 		return total
 	}
 
+	// Updates accumulate into batches (applied through the parallel
+	// path) and always flush before a checkpoint, so every cross-check
+	// sees the full prefix of the stream.
 	const steps = 4000
+	const soakBatch = 48
+	var pending []view.Update
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if err := count.ApplyUpdates(pending); err != nil {
+			t.Fatal(err)
+		}
+		if err := covar.ApplyUpdates(pending); err != nil {
+			t.Fatal(err)
+		}
+		if err := ranged.ApplyUpdates(pending); err != nil {
+			t.Fatal(err)
+		}
+		pending = pending[:0]
+	}
 	for step := 0; step < steps; step++ {
 		r := rels[rng.Intn(len(rels))]
 		sh := shadow[r.Name]
@@ -117,18 +151,13 @@ func TestSoakThreeRingsLongStream(t *testing.T) {
 			up = view.Update{Rel: r.Name, Tuple: value.T(rng.Intn(4), rng.Intn(4)), Mult: 1}
 		}
 		sh.Merge(z, up.Tuple, int64(up.Mult))
-		batch := []view.Update{up}
-		if err := count.ApplyUpdates(batch); err != nil {
-			t.Fatal(err)
-		}
-		if err := covar.ApplyUpdates(batch); err != nil {
-			t.Fatal(err)
-		}
-		if err := ranged.ApplyUpdates(batch); err != nil {
-			t.Fatal(err)
+		pending = append(pending, up)
+		if len(pending) >= soakBatch {
+			flush()
 		}
 
 		if step%250 == 0 || step == steps-1 {
+			flush()
 			want := recomputeCount()
 			if got := count.ResultPayload(); got != want {
 				t.Fatalf("step %d: count %d, naive %d", step, got, want)

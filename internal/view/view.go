@@ -3,6 +3,7 @@ package view
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/relation"
 	"repro/internal/ring"
@@ -52,6 +53,15 @@ type Node[V any] struct {
 	// joining the other root views and projecting to the result schema.
 	resJoins []*relation.JoinPlan
 	resAgg   *relation.AggPlan
+
+	// mu serializes concurrent merges into this node's view (and the
+	// view's index maintenance and entry arena) during parallel commit.
+	// Partitions are key-disjoint at the anchor but can collide on
+	// group keys at upper path nodes, and a Go map tolerates no
+	// concurrent writers regardless — so commit workers take the
+	// node's lock for the duration of one MergeAll. Everything outside
+	// the parallel commit runs single-writer and never touches it.
+	mu sync.Mutex
 }
 
 // Var returns the variable this node marginalizes.
@@ -118,6 +128,9 @@ type Tree[V any] struct {
 	// keeps every ApplyDelta on the sequential path.
 	workers     int
 	minParallel int
+	// resMu is the result map's merge lock, the counterpart of Node.mu
+	// for the root-level result deltas of concurrent commit workers.
+	resMu sync.Mutex
 
 	// Maintenance scratch, reused across calls under the tree's
 	// single-writer contract (see the package doc): the relation order

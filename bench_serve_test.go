@@ -24,3 +24,10 @@ func BenchmarkServeIngestWorkers(b *testing.B) { perf.RunGroup(b, "ServeIngestWo
 // BenchmarkServeIngest measures write-path throughput through the full
 // pipeline (shard -> coalesce -> delta -> apply -> snapshot publish).
 func BenchmarkServeIngest(b *testing.B) { perf.Named("ServeIngest")(b) }
+
+// BenchmarkClusterIngest measures end-to-end write throughput through
+// the fivm-cluster router with N in-process worker shards; shards1 is
+// the single-worker baseline with identical routing overhead, so the
+// shards4/shards1 ratio is the sharding speedup `fivm-bench
+// clustercheck` gates in CI.
+func BenchmarkClusterIngest(b *testing.B) { perf.RunGroup(b, "ClusterIngest") }

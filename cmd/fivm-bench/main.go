@@ -13,6 +13,7 @@
 //	fivm-bench compare [-max-rate-drop 0.15] [-max-alloc-growth 0.10] BENCH_baseline.json BENCH_dev.json
 //	fivm-bench scalingcheck [-max-growth 3] BENCH_dev.json
 //	fivm-bench parallelcheck [-min-speedup 2] [-json PARALLEL_dev.json] BENCH_dev.json
+//	fivm-bench clustercheck [-min-speedup 1.5] [-json CLUSTERCHECK_dev.json] BENCH_dev.json
 //	fivm-bench loadgen -url http://localhost:8344 -duration 10s -concurrency 8 -write-ratio 0.5 [-json LOADGEN.json]
 package main
 
@@ -40,6 +41,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "parallelcheck" {
 		os.Exit(runParallelCheck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "clustercheck" {
+		os.Exit(runClusterCheck(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		os.Exit(runLoadgen(os.Args[2:]))
@@ -197,6 +201,49 @@ func runParallelCheck(args []string) int {
 		return 2
 	}
 	findings, ok := perf.CheckParallel(rep, *minSpeedup)
+	perf.WriteFindings(os.Stdout, findings, ok)
+	if *jsonOut != "" {
+		out := struct {
+			GOMAXPROCS int            `json:"gomaxprocs"`
+			MinSpeedup float64        `json:"min_speedup"`
+			OK         bool           `json:"ok"`
+			Findings   []perf.Finding `json:"findings"`
+		}{rep.GOMAXPROCS, *minSpeedup, ok, findings}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench: writing %s: %v\n", *jsonOut, err)
+			return 2
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// runClusterCheck gates the sharded-serving speedup claim within a
+// single report (perf.CheckCluster): the 4-shard ClusterIngest run must
+// sustain at least min-speedup times the 1-shard throughput of the same
+// suite invocation. Like parallelcheck it is hardware-independent and
+// reports a skip note (and passes) on hosts with fewer than 4 CPUs.
+func runClusterCheck(args []string) int {
+	fs := flag.NewFlagSet("clustercheck", flag.ExitOnError)
+	minSpeedup := fs.Float64("min-speedup", perf.DefaultMinClusterSpeedup, "required 4-shard / 1-shard throughput ratio")
+	jsonOut := fs.String("json", "", "write findings as JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fivm-bench clustercheck [flags] report.json")
+		return 2
+	}
+	rep, err := perf.ReadJSON(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)
+		return 2
+	}
+	findings, ok := perf.CheckCluster(rep, *minSpeedup)
 	perf.WriteFindings(os.Stdout, findings, ok)
 	if *jsonOut != "" {
 		out := struct {

@@ -1,17 +1,20 @@
 // Command fivm-serve runs the concurrent serving daemon: any F-IVM
 // engine behind sharded batched ingestion and lock-free model
-// snapshots, exposed over HTTP/JSON.
+// snapshots, exposed over HTTP/JSON (v1 API; see docs/API.md).
 //
-//	POST /update    ingest tuple updates (?wait=1 for read-your-writes;
-//	                429 + Retry-After when an ingest queue is over the
-//	                high-watermark)
-//	GET  /predict   evaluate the latest ridge model (analysis engines)
-//	GET  /model     the published model, rendered per engine kind
-//	GET  /stats     serving + maintenance counters, snapshot version and
-//	                age, per-shard queue depths, shed counts
-//	GET  /viewtree  the maintained view tree
-//	GET  /healthz   liveness + staleness
-//	GET  /metrics   Prometheus text exposition of the pipeline metrics
+//	POST /v1/update    ingest tuple updates (?wait=1 for read-your-writes;
+//	                   429 + Retry-After when an ingest queue is over the
+//	                   high-watermark)
+//	GET  /v1/predict   evaluate the latest ridge model (analysis engines)
+//	GET  /v1/model     the published model, rendered per engine kind
+//	GET  /v1/stats     serving + maintenance counters, snapshot version and
+//	                   age, per-shard queue depths, shed counts
+//	GET  /v1/viewtree  the maintained view tree
+//	GET  /v1/healthz   liveness + staleness
+//	GET  /metrics      Prometheus text exposition of the pipeline metrics
+//
+// The unversioned routes (/update, /model, ...) remain as deprecated
+// aliases and answer with a Deprecation header.
 //
 // The engine kind follows the workload definition (fivm.Open):
 //
@@ -46,351 +49,70 @@
 // hash-partitioned by join key and propagated across that many
 // goroutines (-1 selects GOMAXPROCS), producing views identical to the
 // sequential path's.
+//
+// All configuration is validated before any data is generated or
+// loaded: a bad flag combination prints one error to stderr and exits
+// with status 2. The daemon itself lives in internal/daemon;
+// fivm-cluster -spawn runs the same code for each worker.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"repro/fivm"
-	"repro/internal/dataset"
-	"repro/internal/serve"
-	"repro/internal/value"
+	"repro/internal/buildinfo"
+	"repro/internal/daemon"
 	"repro/internal/wal"
 )
 
 func main() {
-	addr := flag.String("addr", ":8344", "HTTP listen address")
-	db := flag.String("db", "", "demo database preset: retailer|favorita (overrides -relations/-features)")
-	rows := flag.Int("rows", 0, "fact-table rows for the preset database (0 = preset default)")
-	load := flag.Bool("load", true, "bulk-load the generated preset database at startup")
-	engine := flag.String("engine", "", "engine kind: analysis|count|float|covar|rangedcovar|join (default: inferred from the other flags)")
-	queryFlag := flag.String("query", "", `SQL-subset query for count/float engines, e.g. "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"`)
-	relationsFlag := flag.String("relations", "", `custom relations, e.g. "R:A,B;S:B,C"`)
-	featuresFlag := flag.String("features", "", `analysis features, e.g. "A,B:cat,C:bin=10"`)
-	attrsFlag := flag.String("attrs", "", `covar aggregate attributes, e.g. "A,B,C"`)
-	label := flag.String("label", "", "ridge label attribute for analysis engines (preset default when -db is set; empty disables fitting)")
-	walDir := flag.String("wal", "", "durability directory: write-ahead log + checkpoints, recovered at startup (supersedes -state)")
-	fsyncPolicy := flag.String("fsync", string(wal.PolicyInterval), "WAL fsync policy: always|interval|off")
-	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
-	checkpointEvery := flag.Duration("checkpoint-interval", time.Minute, "incremental checkpoint period with -wal (<0 disables; a final checkpoint is still written on shutdown)")
-	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
-	statePath := flag.String("state", "", "deprecated (use -wal): snapshot file restored at startup if present, persisted on shutdown")
-	persistEvery := flag.Duration("persist-interval", 0, "also persist -state periodically (0 disables)")
-	maxBatch := flag.Int("max-batch", 8192, "max raw updates coalesced into one delta batch")
-	chanCap := flag.Int("chan-cap", 256, "per-relation ingest channel capacity")
-	highWatermark := flag.Int("high-watermark", 0, "ingest queue depth at which /update sheds with 429 (0 = chan-cap)")
-	workers := flag.Int("workers", 0, "parallel delta-propagation workers (0 sequential, -1 = GOMAXPROCS, n >= 2 = n workers)")
-	trace := flag.Bool("trace", false, "log one structured line per batch and per snapshot publish")
+	var o daemon.Options
+	flag.StringVar(&o.Addr, "addr", ":8344", "HTTP listen address")
+	flag.StringVar(&o.DB, "db", "", "demo database preset: retailer|favorita (overrides -relations/-features)")
+	flag.IntVar(&o.Rows, "rows", 0, "fact-table rows for the preset database (0 = preset default)")
+	flag.BoolVar(&o.Load, "load", true, "bulk-load the generated preset database at startup")
+	flag.StringVar(&o.Engine, "engine", "", "engine kind: analysis|count|float|covar|rangedcovar|join (default: inferred from the other flags)")
+	flag.StringVar(&o.Query, "query", "", `SQL-subset query for count/float engines, e.g. "SELECT A, SUM(1) FROM R NATURAL JOIN S GROUP BY A"`)
+	flag.StringVar(&o.Relations, "relations", "", `custom relations, e.g. "R:A,B;S:B,C"`)
+	flag.StringVar(&o.Features, "features", "", `analysis features, e.g. "A,B:cat,C:bin=10"`)
+	flag.StringVar(&o.Attrs, "attrs", "", `covar aggregate attributes, e.g. "A,B,C"`)
+	flag.StringVar(&o.Label, "label", "", "ridge label attribute for analysis engines (preset default when -db is set; empty disables fitting)")
+	flag.StringVar(&o.WALDir, "wal", "", "durability directory: write-ahead log + checkpoints, recovered at startup (supersedes -state)")
+	flag.StringVar(&o.FsyncPolicy, "fsync", string(wal.PolicyInterval), "WAL fsync policy: always|interval|off")
+	flag.DurationVar(&o.FsyncInterval, "fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+	flag.DurationVar(&o.CheckpointInterval, "checkpoint-interval", time.Minute, "incremental checkpoint period with -wal (<0 disables; a final checkpoint is still written on shutdown)")
+	flag.Int64Var(&o.SegmentBytes, "segment-bytes", 64<<20, "WAL segment rotation size")
+	flag.StringVar(&o.StatePath, "state", "", "deprecated (use -wal): snapshot file restored at startup if present, persisted on shutdown")
+	flag.DurationVar(&o.PersistInterval, "persist-interval", 0, "also persist -state periodically (0 disables)")
+	flag.IntVar(&o.MaxBatch, "max-batch", 8192, "max raw updates coalesced into one delta batch")
+	flag.IntVar(&o.ChannelCap, "chan-cap", 256, "per-relation ingest channel capacity")
+	flag.IntVar(&o.HighWatermark, "high-watermark", 0, "ingest queue depth at which /v1/update sheds with 429 (0 = chan-cap)")
+	flag.IntVar(&o.Workers, "workers", 0, "parallel delta-propagation workers (0 sequential, -1 = GOMAXPROCS, n >= 2 = n workers)")
+	flag.BoolVar(&o.Trace, "trace", false, "log one structured line per batch and per snapshot publish")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
-	cfg, initData, err := buildConfig(*db, *rows, *load, *engine, *queryFlag, *relationsFlag, *featuresFlag, *attrsFlag, label)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg.Workers = *workers
-	eng, err := fivm.Open(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *walDir != "" && *statePath != "" {
-		log.Fatal("-state is deprecated and superseded by -wal; drop -state (the WAL directory carries checkpoints)")
-	}
-	var w *wal.WAL
-	if *walDir != "" {
-		w, err = wal.Open(wal.Config{
-			Dir:           *walDir,
-			Fsync:         wal.Policy(*fsyncPolicy),
-			FsyncInterval: *fsyncEvery,
-			SegmentBytes:  *segmentBytes,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Preset bulk-load only on a cold start: once a checkpoint
-		// exists it already contains the loaded data (the boot
-		// checkpoint below guarantees one after the first start).
-		if w.Checkpoint() == nil && initData != nil {
-			if err := eng.Init(initData); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("loaded %d relations", len(initData))
-		}
-		info, err := serve.Recover(eng, w)
-		if err != nil {
-			log.Fatalf("recovering %s: %v", *walDir, err)
-		}
-		log.Printf("recovered from %s: checkpoint seq=%d (%d updates), replayed %d batches (%d updates)",
-			*walDir, info.CheckpointSeq, info.CheckpointUpdates, info.ReplayedBatches, info.ReplayedUpdates)
-	} else if *statePath != "" {
-		log.Print("warning: -state is deprecated; use -wal for crash-safe durability")
-		if f, err := os.Open(*statePath); err == nil {
-			err = eng.ReadSnapshot(f)
-			f.Close()
-			if err != nil {
-				log.Fatalf("restoring %s: %v", *statePath, err)
-			}
-			log.Printf("restored state from %s", *statePath)
-			initData = nil // the state file wins over the generated preset data
-		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatal(err)
-		}
-	}
-	if initData != nil && *walDir == "" {
-		if err := eng.Init(initData); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %d relations", len(initData))
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
 	}
 
-	scfg := serve.Config{
-		MaxBatch:           *maxBatch,
-		ChannelCap:         *chanCap,
-		HighWatermark:      *highWatermark,
-		WAL:                w,
-		CheckpointInterval: *checkpointEvery,
-	}
-	if *trace {
-		scfg.TraceLog = log.New(os.Stderr, "trace ", log.LstdFlags|log.Lmicroseconds)
-	}
-	srv, err := serve.New(eng, scfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if w != nil {
-		// Boot checkpoint: makes the recovered (and possibly just
-		// bulk-loaded) state the durable baseline and lets replayed
-		// segments be pruned right away.
-		if err := srv.Checkpoint(); err != nil {
-			log.Fatalf("boot checkpoint: %v", err)
-		}
+	// Fail on a bad flag combination before generating or loading any
+	// data, with the same error text the daemon's own layers produce.
+	if err := o.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-serve: %v\n", err)
+		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	if *statePath != "" && *persistEvery > 0 {
-		go func() {
-			t := time.NewTicker(*persistEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					if err := persist(srv, *statePath); err != nil {
-						log.Printf("persist: %v", err)
-					}
-				}
-			}
-		}()
+	if err := daemon.Run(ctx, o); err != nil {
+		log.Fatal(err)
 	}
-
-	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
-	go func() {
-		log.Printf("fivm-serve listening on %s (engine=%s, snapshot v%d, count=%v)",
-			*addr, srv.Kind(), srv.Snapshot().Version, srv.Snapshot().Count())
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
-		}
-	}()
-
-	<-ctx.Done()
-	log.Print("shutting down...")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
-	}
-	if err := srv.Close(); err != nil { // drains every accepted update; with -wal, writes the final checkpoint
-		log.Printf("server close: %v", err)
-	}
-	if w != nil {
-		if err := w.Close(); err != nil {
-			log.Printf("wal close: %v", err)
-		}
-	}
-	if *statePath != "" {
-		// All pipeline goroutines have stopped; write directly.
-		if err := writeState(eng, *statePath); err != nil {
-			log.Printf("final persist: %v", err)
-		} else {
-			log.Printf("state persisted to %s", *statePath)
-		}
-	}
-	st := srv.Stats()
-	log.Printf("done: %d updates ingested, %d batches, %d snapshots", st.Ingested, st.Batches, st.Snapshots)
-}
-
-// persist writes the engine state via the writer goroutine.
-func persist(srv *serve.Server, path string) error {
-	var werr error
-	err := srv.Sync(func(eng serve.Maintainable) { werr = writeState(eng, path) })
-	if err != nil {
-		return err
-	}
-	return werr
-}
-
-// writeState persists a -state snapshot crash-atomically: the temp file
-// is fsynced before the rename and the directory after it, so a crash
-// anywhere in between leaves either the old complete file or the new
-// one, never a truncated or unlinked state.
-func writeState(eng serve.Maintainable, path string) error {
-	return wal.WriteFileAtomic(path, eng.WriteSnapshot)
-}
-
-// buildConfig resolves the engine configuration from either a preset
-// database or the custom flags. It also resolves the default label for
-// presets (writing through the flag pointer) and returns the initial
-// bulk-load data, if any.
-func buildConfig(db string, rows int, load bool, engine, queryFlag, relationsFlag, featuresFlag, attrsFlag string, label *string) (fivm.Config, map[string][]value.Tuple, error) {
-	cfg := fivm.Config{Kind: fivm.Kind(engine), Query: queryFlag}
-	if db != "" && (featuresFlag != "" || attrsFlag != "" || relationsFlag != "" || queryFlag != "" || engine != "") {
-		// The presets define their own schema, features, and engine
-		// kind; silently overriding any of them would serve a different
-		// engine than asked, and passing them through would surface as
-		// confusing fivm.Open errors blaming flags the user never set.
-		return cfg, nil, fmt.Errorf("-db %s defines its own relations, features, and engine kind; drop -relations/-features/-attrs/-query/-engine", db)
-	}
-	switch db {
-	case "retailer":
-		rcfg := dataset.DefaultRetailerConfig()
-		if rows > 0 {
-			rcfg.InventoryRows = rows
-		}
-		d := dataset.Retailer(rcfg)
-		for _, r := range d.Relations {
-			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
-		}
-		cfg.Features = []fivm.FeatureSpec{
-			{Attr: "inventoryunits"},
-			{Attr: "prize"},
-			{Attr: "subcategory", Categorical: true},
-			{Attr: "category", Categorical: true},
-			{Attr: "categoryCluster", Categorical: true},
-			{Attr: "avghhi"},
-			{Attr: "maxtemp"},
-		}
-		if *label == "" {
-			*label = "inventoryunits"
-		}
-		cfg.Label = *label
-		if load {
-			return cfg, d.TupleMap(), nil
-		}
-		return cfg, nil, nil
-	case "favorita":
-		fcfg := dataset.DefaultFavoritaConfig()
-		if rows > 0 {
-			fcfg.SalesRows = rows
-		}
-		d := dataset.Favorita(fcfg)
-		for _, r := range d.Relations {
-			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
-		}
-		cfg.Features = []fivm.FeatureSpec{
-			{Attr: "unit_sales"},
-			{Attr: "family", Categorical: true},
-			{Attr: "perishable", Categorical: true},
-			{Attr: "stype", Categorical: true},
-			{Attr: "cluster", Categorical: true},
-			{Attr: "oilprice"},
-			{Attr: "transactions"},
-		}
-		if *label == "" {
-			*label = "unit_sales"
-		}
-		cfg.Label = *label
-		if load {
-			return cfg, d.TupleMap(), nil
-		}
-		return cfg, nil, nil
-	case "":
-		var err error
-		cfg.Relations, err = parseRelations(relationsFlag)
-		if err != nil {
-			return cfg, nil, err
-		}
-		if featuresFlag != "" {
-			cfg.Features, err = parseFeatures(featuresFlag)
-			if err != nil {
-				return cfg, nil, err
-			}
-		}
-		if attrsFlag != "" {
-			for _, a := range strings.Split(attrsFlag, ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					cfg.Attrs = append(cfg.Attrs, a)
-				}
-			}
-		}
-		cfg.Label = *label
-		return cfg, nil, nil
-	default:
-		return cfg, nil, fmt.Errorf("unknown -db %q (retailer|favorita, or use -relations)", db)
-	}
-}
-
-// parseRelations parses "R:A,B;S:B,C".
-func parseRelations(s string) ([]fivm.RelationSpec, error) {
-	if s == "" {
-		return nil, errors.New("either -db or -relations is required")
-	}
-	var out []fivm.RelationSpec
-	for _, part := range strings.Split(s, ";") {
-		name, attrs, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok || name == "" || attrs == "" {
-			return nil, fmt.Errorf("bad relation %q (want Name:attr1,attr2)", part)
-		}
-		spec := fivm.RelationSpec{Name: strings.TrimSpace(name)}
-		for _, a := range strings.Split(attrs, ",") {
-			a = strings.TrimSpace(a)
-			if a == "" {
-				return nil, fmt.Errorf("empty attribute in relation %q", part)
-			}
-			spec.Attrs = append(spec.Attrs, a)
-		}
-		out = append(out, spec)
-	}
-	return out, nil
-}
-
-// parseFeatures parses "A,B:cat,C:bin=10" — continuous by default,
-// ":cat" for categorical, ":bin=W" for equi-width binning.
-func parseFeatures(s string) ([]fivm.FeatureSpec, error) {
-	var out []fivm.FeatureSpec
-	for _, part := range strings.Split(s, ",") {
-		attr, kind, hasKind := strings.Cut(strings.TrimSpace(part), ":")
-		if attr == "" {
-			return nil, fmt.Errorf("empty feature in %q", s)
-		}
-		f := fivm.FeatureSpec{Attr: attr}
-		if hasKind {
-			switch {
-			case kind == "cat":
-				f.Categorical = true
-			case strings.HasPrefix(kind, "bin="):
-				w, err := strconv.ParseFloat(kind[len("bin="):], 64)
-				if err != nil || w <= 0 {
-					return nil, fmt.Errorf("bad bin width in feature %q", part)
-				}
-				f.BinWidth = w
-			default:
-				return nil, fmt.Errorf("bad feature kind %q (want cat or bin=W)", kind)
-			}
-		}
-		out = append(out, f)
-	}
-	return out, nil
 }

@@ -1,7 +1,8 @@
 // Command serving shows a non-Analysis engine behind the fivm-serve
 // stack: a grouped COUNT engine (orders per status over an
 // orders ⋈ customers join) hosted by the concurrent serving layer and
-// queried over HTTP while updates stream in.
+// queried through the public fivm/client package while updates stream
+// in over the v1 HTTP API.
 //
 // Everything the daemon does — sharded batched ingestion, lock-free
 // published models, the HTTP surface — is engine-agnostic: the same
@@ -10,15 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
-	"strings"
 
 	"repro/fivm"
+	"repro/fivm/client"
 	"repro/internal/serve"
 	"repro/internal/value"
 )
@@ -64,48 +65,50 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("count engine (%s) serving on %s\n\n", srv.Kind(), base)
 
-	get := func(path string) string {
-		resp, err := http.Get(base + path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
-		return strings.TrimSpace(string(body))
-	}
-	post := func(path, body string) {
-		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
-	}
+	// The typed client speaks the v1 wire protocol: POST /v1/update,
+	// GET /v1/model, GET /v1/stats, with the uniform error envelope
+	// unwrapped into *client.APIError and 429s retried with backoff.
+	ctx := context.Background()
+	cli := client.New(base)
 
-	fmt.Println("GET /model (initial):")
-	fmt.Println(indentJSON(get("/model")))
+	model, err := cli.Model(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GET /v1/model (initial):")
+	fmt.Println(indentJSON(model.Body))
 
 	// Stream updates: two new open orders, one ships, one cancels
-	// (delete). ?wait=1 gives read-your-writes before the next GET.
-	post("/update?wait=1", `{"updates":[
-		{"rel":"Orders","tuple":[103,1,"open"]},
-		{"rel":"Orders","tuple":[104,3,"open"]},
-		{"rel":"Orders","tuple":[100,1,"open"],"mult":-1},
-		{"rel":"Orders","tuple":[100,1,"shipped"]}]}`)
+	// (delete). wait=true gives read-your-writes before the next GET.
+	ack, err := cli.Update(ctx, []client.Update{
+		client.NewUpdate("Orders", 1, 103, 1, "open"),
+		client.NewUpdate("Orders", 1, 104, 3, "open"),
+		client.NewUpdate("Orders", -1, 100, 1, "open"),
+		client.NewUpdate("Orders", 1, 100, 1, "shipped"),
+	}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println("\nGET /model (after streaming 4 updates):")
-	fmt.Println(indentJSON(get("/model")))
-	fmt.Println("\nGET /stats:")
-	fmt.Println(indentJSON(get("/stats")))
+	model, err = cli.Model(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v1/model (after streaming %d updates):\n", ack.Accepted)
+	fmt.Println(indentJSON(model.Body))
+
+	stats, err := cli.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGET /v1/stats:")
+	fmt.Println(indentJSON(stats.Raw))
 }
 
-func indentJSON(s string) string {
-	var v any
-	if err := json.Unmarshal([]byte(s), &v); err != nil {
-		return s
-	}
+func indentJSON(v any) string {
 	out, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return s
+		return fmt.Sprint(v)
 	}
 	return string(out)
 }

@@ -266,6 +266,53 @@ func (e *Engine[V]) ReadSnapshot(r io.Reader) error {
 	return e.tree.ReadSnapshot(r, e.codec)
 }
 
+// WritePartial serializes the engine's maintained result relation — its
+// partial aggregate of the global query when the engine owns one shard
+// of the anchor relation — for cross-shard merging (see MergePartials).
+// Like snapshots it requires a payload codec.
+func (e *Engine[V]) WritePartial(w io.Writer) error {
+	if e.codec == nil {
+		return fmt.Errorf("fivm: %s engine has no snapshot codec", e.kind)
+	}
+	return e.tree.WritePartial(w, e.codec)
+}
+
+// MergePartials ring-merges per-shard partial results (each written by
+// WritePartial on an engine of the same configuration) and publishes a
+// Model of the merged relation. The merge is exact by associativity and
+// commutativity of ring addition: shards own disjoint key-ranges of the
+// anchor relation, so their partial aggregates sum to the single-engine
+// result (bit-identically for exact rings). The engine's own maintained
+// state is untouched — the merged relation is swapped in only for the
+// duration of the publish — so a data-less "merger" engine built from
+// the cluster's configuration can serve merged reads repeatedly. Not
+// safe concurrently with maintenance or other MergePartials calls.
+func (e *Engine[V]) MergePartials(parts []io.Reader) (Model, error) {
+	if e.codec == nil {
+		return nil, fmt.Errorf("fivm: %s engine has no snapshot codec", e.kind)
+	}
+	merged := relation.New[V](e.tree.Result().Schema())
+	for i, p := range parts {
+		m, err := e.tree.ReadPartial(p, e.codec)
+		if err != nil {
+			return nil, fmt.Errorf("fivm: partial %d: %w", i, err)
+		}
+		merged.MergeAll(e.tree.Ring(), m)
+	}
+	old := e.tree.SwapResult(merged)
+	defer e.tree.SwapResult(old)
+	return e.PublishModel(nil), nil
+}
+
+// PartitionKey returns the attribute positions relation rel's updates
+// hash-partition on — the join key the engine's internal parallelism
+// uses, exported so a cluster shard map routes updates identically
+// (owner = relation.HashTuple(tuple, keyIdx, nil) % shards). ok is
+// false when rel is not an input relation.
+func (e *Engine[V]) PartitionKey(rel string) ([]int, bool) {
+	return e.tree.PartitionKey(rel)
+}
+
 // PublishModel builds an immutable Model of the current result, warm-
 // starting from prev (the previously published model, nil on the first
 // publish) where the engine supports it. It reads live engine state, so

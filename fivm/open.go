@@ -52,6 +52,15 @@ type AnyEngine interface {
 	WriteSnapshot(w io.Writer) error
 	// ReadSnapshot restores input relations and re-evaluates views.
 	ReadSnapshot(r io.Reader) error
+	// WritePartial serializes the maintained result relation for
+	// cross-shard merging.
+	WritePartial(w io.Writer) error
+	// MergePartials publishes a Model ring-merged from per-shard
+	// partials written by WritePartial.
+	MergePartials(parts []io.Reader) (Model, error)
+	// PartitionKey returns the join-key positions rel's updates
+	// hash-partition on (see Engine.PartitionKey).
+	PartitionKey(rel string) ([]int, bool)
 }
 
 // Config declares a workload for Open: either a SQL query over the

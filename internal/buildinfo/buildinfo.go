@@ -1,0 +1,63 @@
+// Package buildinfo renders the binary's embedded build metadata for
+// -version flags: module version when built from a tagged module, VCS
+// revision and time when built from a checkout, plus the Go toolchain.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns a one-line human-readable build description, e.g.
+//
+//	repro (devel) rev 1a2b3c4d (2026-08-08T10:00:00Z, dirty) go1.22.5 linux/amd64
+func Version() string {
+	var b strings.Builder
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintf(&b, "unknown %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return b.String()
+	}
+	path := bi.Main.Path
+	if path == "" {
+		path = "repro"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	fmt.Fprintf(&b, "%s %s", path, ver)
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if at != "" || dirty {
+			b.WriteString(" (")
+			b.WriteString(at)
+			if dirty {
+				if at != "" {
+					b.WriteString(", ")
+				}
+				b.WriteString("dirty")
+			}
+			b.WriteString(")")
+		}
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}

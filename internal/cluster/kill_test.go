@@ -1,0 +1,230 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/fivm"
+	"repro/fivm/client"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/value"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// durableWorker is a restartable in-process fivm-serve worker with a
+// WAL: crash() abandons the serving pipeline mid-flight (listener and
+// connections die, nothing is flushed or checkpointed — the in-process
+// analogue of kill -9), and start() recovers a fresh engine from the
+// same WAL directory on the same address.
+type durableWorker struct {
+	t    *testing.T
+	cfg  fivm.Config
+	dir  string
+	addr string
+	hsrv *http.Server
+}
+
+func (w *durableWorker) URL() string { return "http://" + w.addr }
+
+func (w *durableWorker) start() {
+	w.t.Helper()
+	if w.addr == "" {
+		w.addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", w.addr)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.addr = ln.Addr().String()
+	eng, err := fivm.Open(w.cfg)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	// PolicyOff still survives a process kill (appends are unbuffered
+	// writes); only power loss needs always/interval.
+	wl, err := wal.Open(wal.Config{Dir: w.dir, Fsync: wal.PolicyOff, SegmentBytes: 1 << 20})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if _, err := serve.Recover(eng, wl); err != nil {
+		w.t.Fatalf("recovering %s: %v", w.dir, err)
+	}
+	srv, err := serve.New(eng, serve.Config{WAL: wl, CheckpointInterval: -1})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if err := srv.Checkpoint(); err != nil {
+		w.t.Fatalf("boot checkpoint: %v", err)
+	}
+	w.hsrv = &http.Server{Handler: serve.NewHandler(srv)}
+	go w.hsrv.Serve(ln)
+	// The abandoned pipeline from a previous crash() keeps its goroutines
+	// until the test binary exits — exactly like a killed process's state
+	// is simply gone. Nothing to clean up beyond the HTTP server.
+	w.t.Cleanup(func() { w.hsrv.Close() })
+}
+
+// crash kills the worker's HTTP front end — listener and all live
+// connections — without closing the pipeline or the WAL, so no final
+// checkpoint or drain happens. Acked updates must survive on the WAL
+// alone.
+func (w *durableWorker) crash() { w.hsrv.Close() }
+
+// TestClusterKillShardAckSemantics proves the ack protocol end to end:
+// kill one of two WAL-backed shards mid-stream, keep writing through
+// the router, restart the shard, and require the merged model to equal
+// a single reference engine fed exactly the acked updates — no acked
+// update lost, no unacked update resurrected.
+func TestClusterKillShardAckSemantics(t *testing.T) {
+	ctx := context.Background()
+	cfg := fivm.Config{
+		Relations: testRels(),
+		Query:     "SELECT B, SUM(1) FROM R NATURAL JOIN S GROUP BY B",
+	}
+	dir := t.TempDir()
+	w0 := &durableWorker{t: t, cfg: cfg, dir: filepath.Join(dir, "shard-0")}
+	w1 := &durableWorker{t: t, cfg: cfg, dir: filepath.Join(dir, "shard-1")}
+	w0.start()
+	w1.start()
+
+	rt, err := cluster.New(cluster.Config{
+		ShardURLs:     []string{w0.URL(), w1.URL()},
+		Engine:        cfg,
+		ProbeInterval: -1,
+		CoverWait:     1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	defer rt.Close()
+	cli := client.New(hs.URL, client.WithRetries(0))
+
+	// Pre-classify R join keys by owning shard via the exported shard
+	// map — the same function the router applies per update.
+	var ownedA [2][]int
+	for a := 0; len(ownedA[0]) < 8 || len(ownedA[1]) < 8; a++ {
+		o := rt.Map().Owner(value.T(a, a%5))
+		ownedA[o] = append(ownedA[o], a)
+	}
+	rOwned := func(shard, i int) twin {
+		a := ownedA[shard][i]
+		return newTwin("R", 1, a, a%5)
+	}
+
+	var reference []view.Update // exactly the updates the cluster acked
+	var shard1Acked int         // updates shard 1 acked before the crash
+	ack := func(b []twin) {
+		t.Helper()
+		wire := make([]client.Update, len(b))
+		for i, tw := range b {
+			wire[i] = tw.wire
+			reference = append(reference, tw.ref)
+		}
+		if _, err := cli.Update(ctx, wire, true); err != nil {
+			t.Fatalf("acked write failed: %v", err)
+		}
+	}
+
+	// Phase 1 — both shards up: anchor tuples for both shards plus
+	// broadcast S rows, all acked.
+	ack([]twin{rOwned(0, 0), rOwned(1, 0), newTwin("S", 1, ownedA[0][0], 1, 2)})
+	ack([]twin{rOwned(1, 1), newTwin("S", 1, ownedA[1][0], 3, 4)})
+	shard1Acked = 2 /* owned[1] tuples */ + 2 /* broadcast S rows */
+
+	// Phase 2 — kill shard 1 and keep writing.
+	w1.crash()
+
+	// A batch touching only shard 0 still acks and must survive.
+	ack([]twin{rOwned(0, 1)})
+
+	// A batch touching only the dead shard fails as a whole: 503, and
+	// the update is NOT acked — it must not appear after recovery.
+	if _, err := cli.Update(ctx, []client.Update{rOwned(1, 2).wire}, true); err == nil {
+		t.Fatal("write to dead shard unexpectedly acked")
+	} else {
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+			t.Fatalf("write to dead shard: got %v, want a 503 APIError", err)
+		}
+	}
+
+	// A mixed batch spanning both shards also fails as a whole, but the
+	// live shard's sub-batch was acked by that shard and remains applied
+	// (the router's error says so) — the reference must include it.
+	if _, err := cli.Update(ctx, []client.Update{rOwned(0, 2).wire, rOwned(1, 3).wire}, true); err == nil {
+		t.Fatal("mixed batch with a dead shard unexpectedly acked")
+	}
+	reference = append(reference, rOwned(0, 2).ref)
+
+	// Reads while a shard is down: a strict merged read refuses rather
+	// than serving a partial answer...
+	if _, err := rt.MergedModel(ctx); err == nil {
+		t.Fatal("strict merged read succeeded with a dead shard")
+	}
+	// ...and a ?stale=1 read serves the reachable shards, flagging the
+	// gap in the cluster envelope.
+	resp, err := http.Get(hs.URL + "/v1/model?stale=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleBody struct {
+		Cluster struct {
+			Stale   bool  `json:"stale"`
+			Missing []int `json:"missing"`
+			Merged  int   `json:"merged"`
+		} `json:"cluster"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&staleBody)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !staleBody.Cluster.Stale ||
+		staleBody.Cluster.Merged != 1 || len(staleBody.Cluster.Missing) != 1 || staleBody.Cluster.Missing[0] != 1 {
+		t.Fatalf("stale read = status %d, cluster %+v; want 200 with stale=true missing=[1] merged=1",
+			resp.StatusCode, staleBody.Cluster)
+	}
+
+	// Phase 3 — restart shard 1 from its WAL on the same address.
+	w1.start()
+
+	// Every acked update — and only those — must be visible in the
+	// strict merged read once the shard has recovered.
+	m, err := rt.MergedModel(ctx)
+	if err != nil {
+		t.Fatalf("merged read after recovery: %v", err)
+	}
+	ref, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Apply(reference); err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSONBytes(t, ref.PublishModel(nil))
+	if got := resultJSONBytes(t, m); string(got) != string(want) {
+		t.Errorf("post-recovery merged model diverges from acked reference\n got: %s\nwant: %s", got, want)
+	}
+
+	// The restarted shard's WAL must have recovered at least every
+	// update it acked before the kill.
+	st, err := client.New(w1.URL()).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.WAL.Enabled || st.WAL.RecoveredUpdates < uint64(shard1Acked) {
+		t.Errorf("shard 1 recovered %d updates (wal enabled %v), want >= %d acked before the kill",
+			st.WAL.RecoveredUpdates, st.WAL.Enabled, shard1Acked)
+	}
+}

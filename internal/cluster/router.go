@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/fivm"
+	"repro/fivm/client"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Config builds a Router.
+type Config struct {
+	// ShardURLs are the worker base URLs, one per shard; shard i of the
+	// shard map is ShardURLs[i], so the list's order IS the partition
+	// assignment and must be identical on every router instance.
+	ShardURLs []string
+	// Engine is the cluster-wide engine configuration — the exact
+	// config every worker runs. The router opens a data-less "merger"
+	// engine from it for the shard map's join key, merged model
+	// publishing, and the view-tree rendering.
+	Engine fivm.Config
+	// ShardBy names the anchor relation to partition; empty selects the
+	// first declared relation. All other relations broadcast.
+	ShardBy string
+	// HTTPClient optionally replaces the transport used for shard
+	// calls.
+	HTTPClient *http.Client
+	// CoverWait bounds how long a merged read waits for every shard's
+	// partial to cover the router's acked counts before giving up
+	// (default 2s).
+	CoverWait time.Duration
+	// ProbeInterval paces the background health prober feeding
+	// /metrics gauges (default 2s; negative disables it).
+	ProbeInterval time.Duration
+}
+
+// shardRef is the router's per-worker state: the client, and the
+// monotonic counters the ack protocol and health aggregation ride on.
+type shardRef struct {
+	id  int
+	url string
+	cli *client.Client
+	// acked is the cumulative count of updates this router has had
+	// acknowledged (applied + WAL-logged) by the shard — the
+	// read-your-writes floor a merged read must cover.
+	acked atomic.Uint64
+	// applied caches the shard's last observed cumulative applied
+	// counter; up its last observed reachability. Both feed /metrics.
+	applied atomic.Uint64
+	up      atomic.Bool
+}
+
+// Router fans v1 API traffic across the shard workers. It is stateless
+// apart from the monotonic ack counters — a restarted router serves
+// reads immediately (counters restart at zero, which only weakens
+// read-your-writes to "writes acked by THIS router instance", the
+// strongest claim a stateless tier can make).
+type Router struct {
+	cfg    Config
+	smap   *ShardMap
+	shards []*shardRef
+	arity  map[string]int
+
+	// merger is the data-less engine that decodes and ring-merges
+	// per-shard partials; mergerMu serializes its use (MergePartials
+	// swaps the result relation in place).
+	merger   fivm.AnyEngine
+	mergerMu sync.Mutex
+
+	reg         *obs.Registry
+	writes      *obs.Counter
+	writeErrors *obs.Counter
+	reads       *obs.Counter
+	readErrors  *obs.Counter
+	mergeLat    *obs.Histogram
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a router over cfg.ShardURLs. It opens the merger engine
+// (validating the engine config exactly as a worker would) but does not
+// contact any shard: workers may come up after the router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.ShardURLs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard URLs")
+	}
+	if cfg.CoverWait <= 0 {
+		cfg.CoverWait = 2 * time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	merger, err := fivm.Open(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening merger engine: %w", err)
+	}
+	anchor := cfg.ShardBy
+	if anchor == "" {
+		anchor = cfg.Engine.Relations[0].Name
+	}
+	keyIdx, ok := merger.PartitionKey(anchor)
+	if !ok {
+		return nil, fmt.Errorf("cluster: shard-by relation %s is not an input relation (have %v)", anchor, merger.RelationNames())
+	}
+	rt := &Router{
+		cfg:    cfg,
+		smap:   NewShardMap(len(cfg.ShardURLs), anchor, keyIdx),
+		merger: merger,
+		arity:  make(map[string]int),
+		reg:    obs.NewRegistry(),
+		stop:   make(chan struct{}),
+	}
+	for _, rel := range merger.RelationNames() {
+		n, _ := merger.Arity(rel)
+		rt.arity[rel] = n
+	}
+	var opts []client.Option
+	if cfg.HTTPClient != nil {
+		opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+	}
+	// The router does not retry 429s itself: backpressure must reach
+	// the writing client, which owns the retry budget.
+	opts = append(opts, client.WithRetries(0))
+	for i, u := range cfg.ShardURLs {
+		sh := &shardRef{id: i, url: u, cli: client.New(u, opts...)}
+		rt.shards = append(rt.shards, sh)
+		label := fmt.Sprintf(`shard="%d"`, i)
+		rt.reg.GaugeFunc("fivm_cluster_shard_up", label,
+			"Whether the shard answered its last probe or request.",
+			func() float64 {
+				if sh.up.Load() {
+					return 1
+				}
+				return 0
+			})
+		rt.reg.CounterFunc("fivm_cluster_shard_acked_updates_total", label,
+			"Updates this router has had acknowledged by the shard.",
+			sh.acked.Load)
+		rt.reg.GaugeFunc("fivm_cluster_shard_applied_updates", label,
+			"The shard's last observed cumulative applied-update counter.",
+			func() float64 { return float64(sh.applied.Load()) })
+	}
+	rt.writes = rt.reg.NewCounter("fivm_cluster_requests_total", `op="write"`, "Routed requests by operation.")
+	rt.reads = rt.reg.NewCounter("fivm_cluster_requests_total", `op="read"`, "Routed requests by operation.")
+	rt.writeErrors = rt.reg.NewCounter("fivm_cluster_request_errors_total", `op="write"`, "Routed requests that failed, by operation.")
+	rt.readErrors = rt.reg.NewCounter("fivm_cluster_request_errors_total", `op="read"`, "Routed requests that failed, by operation.")
+	rt.mergeLat = rt.reg.NewHistogram("fivm_cluster_merge_seconds", "",
+		"Latency of gathering and ring-merging per-shard partials.", obs.LatencyBuckets())
+	if cfg.ProbeInterval > 0 {
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// Close stops the background prober. In-flight requests finish.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
+// Map exposes the shard map (tests partition bulk data with it).
+func (rt *Router) Map() *ShardMap { return rt.smap }
+
+// Kind reports the hosted engine kind.
+func (rt *Router) Kind() fivm.Kind { return rt.merger.Kind() }
+
+// probeLoop keeps the per-shard up/applied gauges current even when no
+// traffic flows.
+func (rt *Router) probeLoop() {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
+		var wg sync.WaitGroup
+		for _, sh := range rt.shards {
+			wg.Add(1)
+			go func(sh *shardRef) {
+				defer wg.Done()
+				sh.observeStats(ctx)
+			}(sh)
+		}
+		wg.Wait()
+		cancel()
+	}
+}
+
+// observeStats refreshes the shard's cached reachability and applied
+// counter from one GET /v1/stats.
+func (sh *shardRef) observeStats(ctx context.Context) {
+	st, err := sh.cli.Stats(ctx)
+	if err != nil {
+		sh.up.Store(false)
+		return
+	}
+	sh.up.Store(true)
+	app := st.Applied
+	if st.WAL.Enabled {
+		// The WAL counter is cumulative across restarts, matching the
+		// covering counter /v1/partial reports on durable workers.
+		app = st.WAL.AppliedUpdates
+	}
+	sh.applied.Store(app)
+}
+
+// subBatches partitions one decoded client batch into per-shard
+// sub-batches: anchor updates go to their owning shard (owners[i] >= 0),
+// every other relation's updates broadcast to all shards (owners[i] <
+// 0). Forwarding the raw wire updates keeps numbers lossless
+// (json.Number round-trips verbatim).
+func (rt *Router) subBatches(raws []serve.UpdateJSON, owners []int) [][]client.Update {
+	groups := make([][]client.Update, len(rt.shards))
+	for i, u := range raws {
+		cu := client.Update{Rel: u.Rel, Tuple: u.Tuple, Mult: u.Mult}
+		if owners[i] >= 0 {
+			groups[owners[i]] = append(groups[owners[i]], cu)
+		} else {
+			for s := range groups {
+				groups[s] = append(groups[s], cu)
+			}
+		}
+	}
+	return groups
+}
+
+// shardError classifies one shard's write failure for the aggregate
+// response.
+type shardError struct {
+	id  int
+	err error
+}
+
+// fanOutWrite sends every non-empty sub-batch concurrently with wait=1
+// — the ack protocol: a shard's 202 means its sub-batch is applied,
+// published, and (when WAL-enabled) logged. Per-shard acked counters
+// advance on per-shard success even when the batch fails elsewhere:
+// those updates ARE durably applied, so subsequent merged reads must
+// cover them.
+func (rt *Router) fanOutWrite(ctx context.Context, groups [][]client.Update) (perShard map[string]int, failed []shardError) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	perShard = make(map[string]int)
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardRef, g []client.Update) {
+			defer wg.Done()
+			_, err := sh.cli.Update(ctx, g, true)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var ae *client.APIError
+				if !errors.As(err, &ae) || ae.Temporary() {
+					// Transport failure or 429/503: the shard is down or
+					// shedding. 4xx rejections leave it up.
+					sh.up.Store(false)
+				}
+				failed = append(failed, shardError{id: sh.id, err: err})
+				return
+			}
+			sh.up.Store(true)
+			sh.acked.Add(uint64(len(g)))
+			perShard[fmt.Sprintf("%d", sh.id)] = len(g)
+		}(rt.shards[i], g)
+	}
+	wg.Wait()
+	sort.Slice(failed, func(i, j int) bool { return failed[i].id < failed[j].id })
+	return perShard, failed
+}
+
+// mergeInfo describes one merged read.
+type mergeInfo struct {
+	// Missing lists shards whose partial was unavailable or did not
+	// cover the acked count in time (only non-empty on stale reads).
+	Missing []int `json:"missing,omitempty"`
+	// Acked is the total update count the router requires coverage of.
+	Acked uint64 `json:"acked"`
+	// Merged counts the partials that went into the model.
+	Merged int `json:"merged"`
+}
+
+// gatherPartials fetches every shard's partial, requiring each to cover
+// the shard's acked counter (read-your-writes). A shard that cannot
+// deliver a covering partial within CoverWait is an error — unless
+// allowStale, which instead reports it in info.Missing and merges the
+// rest.
+func (rt *Router) gatherPartials(ctx context.Context, allowStale bool) ([][]byte, *mergeInfo, error) {
+	info := &mergeInfo{}
+	bodies := make([][]byte, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	deadline := time.Now().Add(rt.cfg.CoverWait)
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		info.Acked += sh.acked.Load()
+		wg.Add(1)
+		go func(sh *shardRef) {
+			defer wg.Done()
+			target := sh.acked.Load()
+			for {
+				p, err := sh.cli.Partial(ctx)
+				if err == nil {
+					sh.up.Store(true)
+					sh.applied.Store(p.Applied)
+					if p.Applied >= target {
+						bodies[sh.id] = p.Data
+						errs[sh.id] = nil
+						return
+					}
+					// The shard answered but has not yet re-applied
+					// everything this router acked (it is mid-recovery);
+					// covered is a matter of waiting.
+					err = fmt.Errorf("shard %d applied %d of %d acked updates", sh.id, p.Applied, target)
+				} else {
+					sh.up.Store(false)
+				}
+				errs[sh.id] = err
+				if time.Now().After(deadline) {
+					return
+				}
+				select {
+				case <-time.After(50 * time.Millisecond):
+				case <-ctx.Done():
+					errs[sh.id] = ctx.Err()
+					return
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+	present := make([][]byte, 0, len(bodies))
+	for i, b := range bodies {
+		if errs[i] != nil {
+			info.Missing = append(info.Missing, i)
+			continue
+		}
+		present = append(present, b)
+	}
+	if len(info.Missing) > 0 && !allowStale {
+		first := errs[info.Missing[0]]
+		return nil, info, fmt.Errorf("cluster: %d of %d shards unavailable for a consistent read (shard %d: %w)", len(info.Missing), len(rt.shards), info.Missing[0], first)
+	}
+	info.Merged = len(present)
+	return present, info, nil
+}
+
+// mergedModel gathers partials and publishes the ring-merged model.
+func (rt *Router) mergedModel(ctx context.Context, allowStale bool) (fivm.Model, *mergeInfo, error) {
+	t0 := time.Now()
+	bodies, info, err := rt.gatherPartials(ctx, allowStale)
+	if err != nil {
+		return nil, info, err
+	}
+	readers := make([]io.Reader, len(bodies))
+	for i, b := range bodies {
+		readers[i] = bytes.NewReader(b)
+	}
+	rt.mergerMu.Lock()
+	model, err := rt.merger.MergePartials(readers)
+	rt.mergerMu.Unlock()
+	rt.mergeLat.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		return nil, info, fmt.Errorf("cluster: merging partials: %w", err)
+	}
+	return model, info, nil
+}
+
+// MergedModel returns the cluster-wide model: every shard's partial,
+// each covering this router's acked writes, ring-merged into one
+// result. It is the programmatic form of GET /v1/model (and what the
+// equivalence tests compare against a single engine).
+func (rt *Router) MergedModel(ctx context.Context) (fivm.Model, error) {
+	model, _, err := rt.mergedModel(ctx, false)
+	return model, err
+}

@@ -1,0 +1,64 @@
+// Package cluster is the multi-node serving layer: a shard map that
+// partitions the anchor relation by the engine's own join-key hash, and
+// a stateless router that fans v1 API writes out to fivm-serve workers
+// and ring-merges their partial results on reads.
+//
+// Correctness rests on two properties of the F-IVM payload rings:
+//
+//   - Sharding: exactly one relation — the anchor — is partitioned by
+//     join key across workers; every other relation is broadcast to all
+//     of them. Shard i then maintains Q(anchor_i ⋈ others), and since
+//     the anchor partitions are disjoint with union the full relation,
+//     distributivity of the join over union gives
+//     Σ_ring_i Q(anchor_i ⋈ others) = Q(anchor ⋈ others).
+//   - Merging: ring addition is associative and commutative, so the
+//     per-shard partial results sum to the single-engine result in any
+//     order — bit-identically for exact rings (the integer rings, and
+//     float payloads over integer-valued data).
+//
+// Read-your-writes: the router acks a write only after every touched
+// shard has applied and (when WAL-enabled) logged its sub-batch
+// (?wait=1), and it tracks the cumulative acked count per shard. A
+// merged read requires each shard's partial to cover that count (the
+// X-Fivm-Applied header), so every acknowledged write is visible in
+// every subsequent merged read.
+package cluster
+
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// ShardMap assigns anchor-relation tuples to shards using the SAME
+// partition function the engine applies internally
+// (relation.Map.Partition): FNV-1a over the tuple's encoded join-key
+// projection, modulo the shard count. An update's owning shard is
+// therefore computed identically to the engine's in-process
+// partitioning.
+type ShardMap struct {
+	shards int
+	anchor string
+	keyIdx []int
+}
+
+// NewShardMap builds a map over n shards for the anchor relation whose
+// join-key positions are keyIdx (from Engine.PartitionKey).
+func NewShardMap(n int, anchor string, keyIdx []int) *ShardMap {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardMap{shards: n, anchor: anchor, keyIdx: keyIdx}
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Anchor returns the partitioned relation's name; updates to any other
+// relation broadcast to every shard.
+func (m *ShardMap) Anchor() string { return m.anchor }
+
+// Owner returns the shard owning an anchor-relation tuple.
+func (m *ShardMap) Owner(t value.Tuple) int {
+	h, _ := relation.HashTuple(t, m.keyIdx, nil)
+	return int(h % uint64(m.shards))
+}

@@ -1,0 +1,157 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/fivm"
+	"repro/internal/dataset"
+	"repro/internal/value"
+)
+
+// BuildEngineConfig resolves the engine configuration from either a
+// preset database or the custom CLI options. For presets it also
+// resolves the default label (returned via the config) and the initial
+// bulk-load data, if any.
+func BuildEngineConfig(db string, rows int, load bool, engine, query, relations, features, attrs, label string) (fivm.Config, map[string][]value.Tuple, error) {
+	cfg := fivm.Config{Kind: fivm.Kind(engine), Query: query}
+	if db != "" && (features != "" || attrs != "" || relations != "" || query != "" || engine != "") {
+		// The presets define their own schema, features, and engine
+		// kind; silently overriding any of them would serve a different
+		// engine than asked, and passing them through would surface as
+		// confusing fivm.Open errors blaming flags the user never set.
+		return cfg, nil, fmt.Errorf("-db %s defines its own relations, features, and engine kind; drop -relations/-features/-attrs/-query/-engine", db)
+	}
+	switch db {
+	case "retailer":
+		rcfg := dataset.DefaultRetailerConfig()
+		if rows > 0 {
+			rcfg.InventoryRows = rows
+		}
+		d := dataset.Retailer(rcfg)
+		for _, r := range d.Relations {
+			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
+		}
+		cfg.Features = []fivm.FeatureSpec{
+			{Attr: "inventoryunits"},
+			{Attr: "prize"},
+			{Attr: "subcategory", Categorical: true},
+			{Attr: "category", Categorical: true},
+			{Attr: "categoryCluster", Categorical: true},
+			{Attr: "avghhi"},
+			{Attr: "maxtemp"},
+		}
+		if label == "" {
+			label = "inventoryunits"
+		}
+		cfg.Label = label
+		if load {
+			return cfg, d.TupleMap(), nil
+		}
+		return cfg, nil, nil
+	case "favorita":
+		fcfg := dataset.DefaultFavoritaConfig()
+		if rows > 0 {
+			fcfg.SalesRows = rows
+		}
+		d := dataset.Favorita(fcfg)
+		for _, r := range d.Relations {
+			cfg.Relations = append(cfg.Relations, fivm.RelationSpec{Name: r.Name, Attrs: r.Attrs})
+		}
+		cfg.Features = []fivm.FeatureSpec{
+			{Attr: "unit_sales"},
+			{Attr: "family", Categorical: true},
+			{Attr: "perishable", Categorical: true},
+			{Attr: "stype", Categorical: true},
+			{Attr: "cluster", Categorical: true},
+			{Attr: "oilprice"},
+			{Attr: "transactions"},
+		}
+		if label == "" {
+			label = "unit_sales"
+		}
+		cfg.Label = label
+		if load {
+			return cfg, d.TupleMap(), nil
+		}
+		return cfg, nil, nil
+	case "":
+		var err error
+		cfg.Relations, err = ParseRelations(relations)
+		if err != nil {
+			return cfg, nil, err
+		}
+		if features != "" {
+			cfg.Features, err = ParseFeatures(features)
+			if err != nil {
+				return cfg, nil, err
+			}
+		}
+		if attrs != "" {
+			for _, a := range strings.Split(attrs, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					cfg.Attrs = append(cfg.Attrs, a)
+				}
+			}
+		}
+		cfg.Label = label
+		return cfg, nil, nil
+	default:
+		return cfg, nil, fmt.Errorf("unknown -db %q (retailer|favorita, or use -relations)", db)
+	}
+}
+
+// ParseRelations parses "R:A,B;S:B,C".
+func ParseRelations(s string) ([]fivm.RelationSpec, error) {
+	if s == "" {
+		return nil, errors.New("either -db or -relations is required")
+	}
+	var out []fivm.RelationSpec
+	for _, part := range strings.Split(s, ";") {
+		name, attrs, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" || attrs == "" {
+			return nil, fmt.Errorf("bad relation %q (want Name:attr1,attr2)", part)
+		}
+		spec := fivm.RelationSpec{Name: strings.TrimSpace(name)}
+		for _, a := range strings.Split(attrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("empty attribute in relation %q", part)
+			}
+			spec.Attrs = append(spec.Attrs, a)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// ParseFeatures parses "A,B:cat,C:bin=10" — continuous by default,
+// ":cat" for categorical, ":bin=W" for equi-width binning.
+func ParseFeatures(s string) ([]fivm.FeatureSpec, error) {
+	var out []fivm.FeatureSpec
+	for _, part := range strings.Split(s, ",") {
+		attr, kind, hasKind := strings.Cut(strings.TrimSpace(part), ":")
+		if attr == "" {
+			return nil, fmt.Errorf("empty feature in %q", s)
+		}
+		f := fivm.FeatureSpec{Attr: attr}
+		if hasKind {
+			switch {
+			case kind == "cat":
+				f.Categorical = true
+			case strings.HasPrefix(kind, "bin="):
+				w, err := strconv.ParseFloat(kind[len("bin="):], 64)
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("bad bin width in feature %q", part)
+				}
+				f.BinWidth = w
+			default:
+				return nil, fmt.Errorf("bad feature kind %q (want cat or bin=W)", kind)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

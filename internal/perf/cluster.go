@@ -1,0 +1,206 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/fivm"
+	"repro/fivm/client"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/value"
+)
+
+// --- ClusterIngest: sharded serving throughput -------------------------------
+
+// wireTuple converts an engine tuple to the client's JSON wire form.
+func wireTuple(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case value.KindInt:
+			out[i] = v.Int()
+		case value.KindFloat:
+			out[i] = v.Float()
+		case value.KindString:
+			out[i] = v.Str()
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// benchClusterIngest measures end-to-end write throughput through the
+// cluster router: N in-process fivm-serve workers behind a router, the
+// COVAR Retailer workload, anchor (Inventory) updates partitioned by
+// join key and applied by the shards concurrently (the router fans each
+// batch's per-shard sub-batches out in parallel with wait=1). shards=1
+// is the single-worker baseline with identical HTTP and routing
+// overhead, so the shards4/shards1 ratio isolates the sharding speedup
+// — the clustercheck CI gate (CheckCluster).
+func benchClusterIngest(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		db, fs, _, aggs := retailerFixture(b, 2_000)
+		cfg := fivm.Config{Relations: fs, Attrs: aggs}
+		// Workers hold the full non-anchor relations (broadcast state) and
+		// an empty anchor; the measured stream is anchor-only, so every
+		// update lands on exactly one shard.
+		nonAnchor := db.TupleMap()
+		delete(nonAnchor, "Inventory")
+		ups := streamFixture(b, db, 4_000, 0.2)
+		wire := make([]client.Update, len(ups))
+		for i, u := range ups {
+			wire[i] = client.Update{Rel: u.Rel, Tuple: wireTuple(u.Tuple)}
+			if u.Mult != 1 {
+				m := u.Mult
+				wire[i].Mult = &m
+			}
+		}
+		const batch = 500
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var servers []*httptest.Server
+			var pipes []*serve.Server
+			urls := make([]string, shards)
+			for s := 0; s < shards; s++ {
+				eng, err := fivm.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Init(nonAnchor); err != nil {
+					b.Fatal(err)
+				}
+				srv, err := serve.New(eng, serve.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hs := httptest.NewServer(serve.NewHandler(srv))
+				servers = append(servers, hs)
+				pipes = append(pipes, srv)
+				urls[s] = hs.URL
+			}
+			rt, err := cluster.New(cluster.Config{
+				ShardURLs: urls, Engine: cfg, ShardBy: "Inventory", ProbeInterval: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := httptest.NewServer(rt.Handler())
+			cli := client.New(rhs.URL, client.WithRetries(0))
+			b.StartTimer()
+
+			for j := 0; j < len(wire); j += batch {
+				k := j + batch
+				if k > len(wire) {
+					k = len(wire)
+				}
+				if _, err := cli.Update(ctx, wire[j:k], true); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.StopTimer()
+			rhs.Close()
+			rt.Close()
+			for s := range servers {
+				servers[s].Close()
+				pipes[s].Close()
+			}
+			b.StartTimer()
+		}
+		reportRate(b, len(ups))
+	}
+}
+
+// --- clustercheck: the sharded-scaling CI gate -------------------------------
+
+// DefaultMinClusterSpeedup is CheckCluster's floor on the 4-shard /
+// 1-shard ClusterIngest throughput ratio. The shards apply disjoint
+// anchor sub-batches concurrently, but each batch also pays one
+// router-side JSON decode/re-encode and an HTTP round trip per shard,
+// so the floor is below the parallel-commit gate's: 4 shards on >= 4
+// cores must still clear 1.5x, and a return to sequential fan-out (or a
+// shard map collapsing onto one shard) drops the ratio toward 1.
+const DefaultMinClusterSpeedup = 1.5
+
+// CheckCluster verifies sharded ingest scaling WITHIN one report — both
+// shard counts of the ClusterIngest family run in the same suite
+// invocation on the same host, so like CheckParallel the gate is
+// hardware-independent and needs no cross-machine baseline: the 4-shard
+// run must sustain at least minSpeedup times the 1-shard throughput.
+// Reports recorded with GOMAXPROCS below 4 (the 1-CPU dev box) get a
+// skip note and pass — the hardware cannot express the concurrency the
+// gate measures. Additional "<family>/shardsN" families are reported
+// informationally without gating.
+func CheckCluster(rep *Report, minSpeedup float64) (findings []Finding, ok bool) {
+	if rep.GOMAXPROCS < checkParallelMinCPU {
+		return []Finding{{Name: "(cluster)", Kind: FindingNote,
+			Detail: fmt.Sprintf("report recorded with GOMAXPROCS=%d < %d: %d-shard scaling is not measurable on this host, gate skipped",
+				rep.GOMAXPROCS, checkParallelMinCPU, checkParallelMinCPU)}}, true
+	}
+	const gated = "ClusterIngest"
+	type rates struct{ one, four float64 }
+	families := map[string]*rates{}
+	order := []string{}
+	for _, r := range rep.Results {
+		family, shards, found := strings.Cut(r.Name, "/shards")
+		if !found {
+			continue
+		}
+		e := families[family]
+		if e == nil {
+			e = &rates{}
+			families[family] = e
+			order = append(order, family)
+		}
+		rate := r.UpdatesPerSec
+		if rate == 0 && r.NsPerOp > 0 {
+			rate = 1e9 / r.NsPerOp
+		}
+		switch shards {
+		case "1":
+			e.one = rate
+		case "4":
+			e.four = rate
+		}
+	}
+	ok = true
+	if families[gated] == nil {
+		return []Finding{regression("(cluster)",
+			fmt.Sprintf("no %s/shards{1,4} entries in the report — the cluster-scaling gate has nothing to check", gated))}, false
+	}
+	for _, family := range order {
+		e := families[family]
+		if e.one <= 0 || e.four <= 0 {
+			if family == gated {
+				ok = false
+				findings = append(findings, regression(family,
+					"missing a shards1 or shards4 endpoint — the family's scaling cannot be checked"))
+			}
+			continue
+		}
+		speedup := e.four / e.one
+		switch {
+		case family == gated && speedup < minSpeedup:
+			ok = false
+			findings = append(findings, regression(family,
+				fmt.Sprintf("4-shard throughput is %.2fx the 1-shard run (%.0f -> %.0f updates/sec, floor %.1fx): sharded ingest is not scaling",
+					speedup, e.one, e.four, minSpeedup)))
+		case family == gated:
+			findings = append(findings, Finding{Name: family, Kind: FindingNote,
+				Detail: fmt.Sprintf("4-shard speedup %.2fx (%.0f -> %.0f updates/sec, floor %.1fx)",
+					speedup, e.one, e.four, minSpeedup)})
+		default:
+			findings = append(findings, Finding{Name: family, Kind: FindingNote,
+				Detail: fmt.Sprintf("shards4/shards1 ratio %.2fx (%.0f -> %.0f updates/sec, ungated)",
+					speedup, e.one, e.four)})
+		}
+	}
+	return findings, ok
+}

@@ -1,10 +1,9 @@
 package perf
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -13,10 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/fivm/client"
 	"repro/internal/obs"
 )
 
-// LoadgenConfig drives RunLoadgen against a live fivm-serve instance.
+// LoadgenConfig drives RunLoadgen against a live fivm-serve or
+// fivm-cluster instance.
 type LoadgenConfig struct {
 	// URL is the server's base URL, e.g. http://localhost:8344.
 	URL string
@@ -25,7 +26,7 @@ type LoadgenConfig struct {
 	// Concurrency is the number of client goroutines.
 	Concurrency int
 	// WriteRatio in [0,1] is the fraction of requests that are
-	// POST /update; the rest are GET /model reads.
+	// POST /v1/update; the rest are GET /v1/model reads.
 	WriteRatio float64
 	// BatchSize is the number of tuples per write request.
 	BatchSize int
@@ -79,7 +80,7 @@ type LoadgenReport struct {
 	UpdatesSent     uint64         `json:"updates_sent"`
 	WriteLatency    LatencySummary `json:"write_latency"`
 	ReadLatency     LatencySummary `json:"read_latency"`
-	// ServerIngested/ServerShed come from the final GET /stats, as do
+	// ServerIngested/ServerShed come from the final GET /v1/stats, as do
 	// the ServerWAL* durability counters (all zero when the server runs
 	// without -wal).
 	ServerIngested           uint64 `json:"server_ingested"`
@@ -97,26 +98,25 @@ type LoadgenReport struct {
 	MetricsError  string `json:"metrics_error,omitempty"`
 }
 
-// shardInfo is the slice of the /stats "shards" object loadgen needs:
-// the relation's tuple arity, so it can synthesize valid updates.
-type shardInfo struct {
-	Arity int `json:"arity"`
-}
-
 // RunLoadgen drives mixed read/write traffic against a live server and
 // reports client-side latency quantiles plus a server-side consistency
-// check (final /stats counters and /metrics parseability). Relations
-// and their arities are discovered from GET /stats, so the same
-// loadgen works against any hosted engine.
+// check (final /v1/stats counters and /metrics parseability). Relations
+// and their arities are discovered from GET /v1/stats, so the same
+// loadgen works against any hosted engine — or against a cluster
+// router, which reports the same shards object. It rides the public
+// fivm/client package with retries disabled: a shed write must count as
+// a 429 in the report, not silently succeed on retry.
 func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	base := strings.TrimRight(cfg.URL, "/")
-	client := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+	cli := client.New(strings.TrimRight(cfg.URL, "/"),
+		client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}),
+		client.WithRetries(0))
 
-	rels, err := discoverRelations(client, base)
+	rels, err := discoverRelations(ctx, cli)
 	if err != nil {
 		return nil, err
 	}
@@ -138,38 +138,35 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 			me := &workers[w]
 			me.statuses = make(map[int]int)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
-			var body bytes.Buffer
+			batch := make([]client.Update, 0, cfg.BatchSize)
 			for !stop.Load() {
 				if rng.Float64() < cfg.WriteRatio {
 					rel := rels[rng.Intn(len(rels))]
-					body.Reset()
-					writeBatchJSON(&body, rng, rel.name, rel.arity, cfg.BatchSize)
+					batch = randomBatch(batch[:0], rng, rel.name, rel.arity, cfg.BatchSize)
 					t0 := time.Now()
-					resp, err := client.Post(base+"/update", "application/json", &body)
+					_, err := cli.Update(ctx, batch, false)
 					ns := time.Since(t0).Nanoseconds()
-					if err != nil {
+					status, ok := statusOf(err, http.StatusAccepted)
+					if !ok {
 						me.errors++
 						continue
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
 					me.writeNS = append(me.writeNS, ns)
-					me.statuses[resp.StatusCode]++
-					if resp.StatusCode == http.StatusAccepted {
+					me.statuses[status]++
+					if status == http.StatusAccepted {
 						me.updates += uint64(cfg.BatchSize)
 					}
 				} else {
 					t0 := time.Now()
-					resp, err := client.Get(base + "/model")
+					_, err := cli.Model(ctx)
 					ns := time.Since(t0).Nanoseconds()
-					if err != nil {
+					status, ok := statusOf(err, http.StatusOK)
+					if !ok {
 						me.errors++
 						continue
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
 					me.readNS = append(me.readNS, ns)
-					me.statuses[resp.StatusCode]++
+					me.statuses[status]++
 				}
 			}
 		}(w)
@@ -207,21 +204,20 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 
 	// Server-side consistency: final counters and a /metrics scrape that
 	// must parse as exposition format.
-	if sc, err := fetchServerCounters(client, base); err == nil {
-		rep.ServerIngested, rep.ServerShed = sc.Ingested, sc.Shed
-		rep.ServerWALEnabled = sc.WAL.Enabled
-		rep.ServerWALAppendedBatches = sc.WAL.AppendedBatches
-		rep.ServerWALAppendedBytes = sc.WAL.AppendedBytes
-		rep.ServerWALSegments = sc.WAL.Segments
-		rep.ServerWALCheckpointSeq = sc.WAL.CheckpointSeq
-		rep.ServerWALRecovered = sc.WAL.RecoveredUpdates
+	if st, err := cli.Stats(ctx); err == nil {
+		rep.ServerIngested, rep.ServerShed = st.Ingested, st.Shed
+		rep.ServerWALEnabled = st.WAL.Enabled
+		rep.ServerWALAppendedBatches = st.WAL.AppendedBatches
+		rep.ServerWALAppendedBytes = st.WAL.AppendedBytes
+		rep.ServerWALSegments = int64(st.WAL.Segments)
+		rep.ServerWALCheckpointSeq = st.WAL.CheckpointSeq
+		rep.ServerWALRecovered = st.WAL.RecoveredUpdates
 	}
-	resp, err := client.Get(base + "/metrics")
+	text, err := cli.Metrics(ctx)
 	if err != nil {
 		rep.MetricsError = err.Error()
 	} else {
-		samples, perr := obs.ParseExposition(resp.Body)
-		resp.Body.Close()
+		samples, perr := obs.ParseExposition(strings.NewReader(text))
 		if perr != nil {
 			rep.MetricsError = perr.Error()
 		} else {
@@ -232,87 +228,57 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	return rep, nil
 }
 
+// statusOf maps a client result to an HTTP status for the report's
+// status accounting: nil errors report the route's success code,
+// APIErrors carry the server's status, transport failures report
+// not-ok.
+func statusOf(err error, success int) (status int, ok bool) {
+	if err == nil {
+		return success, true
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status, true
+	}
+	return 0, false
+}
+
 type relation struct {
 	name  string
 	arity int
 }
 
-// discoverRelations reads GET /stats and extracts each shard's name and
-// arity.
-func discoverRelations(client *http.Client, base string) ([]relation, error) {
-	resp, err := client.Get(base + "/stats")
+// discoverRelations reads GET /v1/stats and extracts each shard's name
+// and arity.
+func discoverRelations(ctx context.Context, cli *client.Client) ([]relation, error) {
+	st, err := cli.Stats(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: discovering relations: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: GET /stats = %d", resp.StatusCode)
+	if len(st.Shards) == 0 {
+		return nil, fmt.Errorf("loadgen: /v1/stats reports no shards — is this a fivm instance?")
 	}
-	var stats struct {
-		Shards map[string]shardInfo `json:"shards"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return nil, fmt.Errorf("loadgen: decoding /stats: %w", err)
-	}
-	if len(stats.Shards) == 0 {
-		return nil, fmt.Errorf("loadgen: /stats reports no shards — is this a fivm-serve instance?")
-	}
-	rels := make([]relation, 0, len(stats.Shards))
-	for name, sh := range stats.Shards {
+	rels := make([]relation, 0, len(st.Shards))
+	for name, sh := range st.Shards {
 		rels = append(rels, relation{name: name, arity: sh.Arity})
 	}
 	sort.Slice(rels, func(i, j int) bool { return rels[i].name < rels[j].name })
 	return rels, nil
 }
 
-// writeBatchJSON renders one /update request body of n random integer
-// tuples for rel. A small value domain (64 per column) keeps join keys
-// overlapping so updates exercise real view maintenance, not just
-// inserts into disjoint groups.
-func writeBatchJSON(buf *bytes.Buffer, rng *rand.Rand, rel string, arity, n int) {
-	buf.WriteString(`{"updates":[`)
+// randomBatch appends n random integer inserts for rel to batch. A
+// small value domain (64 per column) keeps join keys overlapping so
+// updates exercise real view maintenance, not just inserts into
+// disjoint groups.
+func randomBatch(batch []client.Update, rng *rand.Rand, rel string, arity, n int) []client.Update {
 	for i := 0; i < n; i++ {
-		if i > 0 {
-			buf.WriteByte(',')
+		tuple := make([]any, arity)
+		for j := range tuple {
+			tuple[j] = rng.Intn(64)
 		}
-		fmt.Fprintf(buf, `{"rel":%q,"tuple":[`, rel)
-		for j := 0; j < arity; j++ {
-			if j > 0 {
-				buf.WriteByte(',')
-			}
-			fmt.Fprintf(buf, "%d", rng.Intn(64))
-		}
-		buf.WriteString("]}")
+		batch = append(batch, client.Update{Rel: rel, Tuple: tuple})
 	}
-	buf.WriteString("]}")
-}
-
-// serverCounters is the slice of GET /stats the report repeats:
-// admission counters plus the durability section.
-type serverCounters struct {
-	Ingested uint64 `json:"ingested"`
-	Shed     uint64 `json:"shed"`
-	WAL      struct {
-		Enabled          bool   `json:"enabled"`
-		AppendedBatches  uint64 `json:"appended_batches"`
-		AppendedBytes    uint64 `json:"appended_bytes"`
-		Segments         int64  `json:"segments"`
-		CheckpointSeq    uint64 `json:"checkpoint_seq"`
-		RecoveredUpdates uint64 `json:"recovered_updates"`
-	} `json:"wal"`
-}
-
-func fetchServerCounters(client *http.Client, base string) (serverCounters, error) {
-	var stats serverCounters
-	resp, err := client.Get(base + "/stats")
-	if err != nil {
-		return stats, err
-	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return stats, err
-	}
-	return stats, nil
+	return batch
 }
 
 // summarize computes exact quantiles over the collected samples.

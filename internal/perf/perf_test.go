@@ -408,3 +408,45 @@ func TestCheckParallelNsFallback(t *testing.T) {
 		t.Fatalf("2.5x inverse-latency speedup must pass: %+v", findings)
 	}
 }
+
+// TestCheckCluster covers the sharded-scaling gate: a clearing 4-shard
+// run passes with a note, a below-floor run fails, a small host skips,
+// and a report without the ClusterIngest family fails loudly.
+func TestCheckCluster(t *testing.T) {
+	rep := report(
+		Result{Name: "ClusterIngest/shards1", UpdatesPerSec: 100_000},
+		Result{Name: "ClusterIngest/shards4", UpdatesPerSec: 200_000},
+	)
+	rep.GOMAXPROCS = 4
+	findings, ok := CheckCluster(rep, DefaultMinClusterSpeedup)
+	if !ok || len(findings) != 1 || findings[0].Kind != FindingNote {
+		t.Fatalf("2.0x speedup must pass with one note: ok=%v %+v", ok, findings)
+	}
+
+	rep = report(
+		Result{Name: "ClusterIngest/shards1", UpdatesPerSec: 100_000},
+		Result{Name: "ClusterIngest/shards4", UpdatesPerSec: 120_000}, // 1.2x < 1.5x
+	)
+	rep.GOMAXPROCS = 8
+	findings, ok = CheckCluster(rep, DefaultMinClusterSpeedup)
+	if ok || len(findings) != 1 || !findings[0].IsRegression() {
+		t.Fatalf("1.2x speedup must fail with one regression: ok=%v %+v", ok, findings)
+	}
+
+	rep.GOMAXPROCS = 1
+	findings, ok = CheckCluster(rep, DefaultMinClusterSpeedup)
+	if !ok || len(findings) != 1 || findings[0].Kind != FindingNote {
+		t.Fatalf("1-CPU host must skip with a note: ok=%v %+v", ok, findings)
+	}
+
+	rep = report(Result{Name: "E2FIVM", UpdatesPerSec: 100_000})
+	rep.GOMAXPROCS = 4
+	if _, ok := CheckCluster(rep, DefaultMinClusterSpeedup); ok {
+		t.Fatal("report without ClusterIngest entries must fail the gate")
+	}
+	rep = report(Result{Name: "ClusterIngest/shards1", UpdatesPerSec: 100_000})
+	rep.GOMAXPROCS = 4
+	if _, ok := CheckCluster(rep, DefaultMinClusterSpeedup); ok {
+		t.Fatal("report with only one shard count must fail the gate")
+	}
+}

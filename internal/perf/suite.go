@@ -77,6 +77,9 @@ func Suite() []Bench {
 		Bench{Name: "ServeSnapshotReads/idle-writer", Fn: benchServeSnapshotReads(false)},
 		Bench{Name: "ServeSnapshotReads/active-writer", Fn: benchServeSnapshotReads(true)},
 	)
+	for _, shards := range []int{1, 4} {
+		s = append(s, Bench{Name: fmt.Sprintf("ClusterIngest/shards%d", shards), Fn: benchClusterIngest(shards)})
+	}
 	return s
 }
 

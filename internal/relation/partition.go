@@ -74,15 +74,34 @@ func (m *Map[V]) PartitionInto(out []*Map[V], keyIdx []int) []*Map[V] {
 	for k, e := range m.data {
 		var h uint64
 		if len(keyIdx) == 0 {
+			// The map key is the full encoded tuple, so hashing it is
+			// HashTuple's empty-key form without re-encoding.
 			h = fnv1a(k)
 		} else {
-			kbuf = e.tuple.AppendEncodeProject(kbuf[:0], keyIdx)
-			h = fnv1a(kbuf)
+			h, kbuf = HashTuple(e.tuple, keyIdx, kbuf)
 		}
 		p := out[h%uint64(n)]
 		p.data[k] = e
 	}
 	return out
+}
+
+// HashTuple returns the partition hash Partition/PartitionInto compute
+// for t: FNV-1a over the tuple's encoded projection onto keyIdx, or over
+// the full encoded tuple when keyIdx is empty (the same bytes as the
+// map key, so both forms agree with PartitionInto's fast path). buf is
+// optional scratch; the possibly-grown buffer is returned for reuse.
+//
+// It is exported so an out-of-process shard map (internal/cluster)
+// routes an update to the same shard the engine's internal partitioner
+// would pick: owner = HashTuple(t, keyIdx, buf) % shards.
+func HashTuple(t value.Tuple, keyIdx []int, buf []byte) (uint64, []byte) {
+	if len(keyIdx) == 0 {
+		buf = t.AppendEncode(buf[:0])
+	} else {
+		buf = t.AppendEncodeProject(buf[:0], keyIdx)
+	}
+	return fnv1a(buf), buf
 }
 
 // PartitionKey returns the positions of the attributes of key that occur

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -12,38 +14,92 @@ import (
 	"repro/internal/view"
 )
 
-// NewHandler exposes a Server over HTTP/JSON. The surface is identical
-// for every hosted engine kind; /model renders the engine's own model
-// shape (ridge weights for analysis, rows for count/float/join, the
-// compound aggregate for COVAR):
+// The v1 wire protocol (see docs/API.md for full schemas):
 //
-//	POST /update    {"updates":[{"rel":"R","tuple":[1,2.5,"x"],"mult":1}]}
-//	                ?wait=1 blocks until the batch is applied and a
-//	                snapshot reflecting it is published; 429 +
-//	                Retry-After when a target ingest queue is over the
-//	                high-watermark
-//	GET  /predict   ?attr=value&... one query parameter per feature
-//	                (analysis engines with a label only)
-//	GET  /model     the published model, rendered per engine kind
-//	GET  /stats     serving + maintenance counters, snapshot version and
-//	                age, per-shard queue depths, shed/accepted counts
-//	GET  /viewtree  the maintained view tree (text)
-//	GET  /healthz   liveness + staleness (snapshot version/age, queues)
-//	GET  /metrics   Prometheus text exposition of the pipeline metrics
+//	POST /v1/update   {"updates":[{"rel":"R","tuple":[1,2.5,"x"],"mult":1}]}
+//	                  ?wait=1 blocks until the batch is applied and a
+//	                  snapshot reflecting it is published; 429 +
+//	                  Retry-After when a target ingest queue is over the
+//	                  high-watermark
+//	GET  /v1/predict  ?attr=value&... one query parameter per feature
+//	                  (analysis engines with a label only)
+//	GET  /v1/model    the published model, rendered per engine kind
+//	GET  /v1/stats    serving + maintenance counters, snapshot version
+//	                  and age, per-shard queue depths, shed counts
+//	GET  /v1/viewtree the maintained view tree (text)
+//	GET  /v1/healthz  liveness + staleness (snapshot version/age, queues)
+//	GET  /v1/partial  the shard's partial result relation in the binary
+//	                  partial format, for cross-shard merging; the
+//	                  X-Fivm-Applied header carries the cumulative
+//	                  applied-update counter the body covers
+//	GET  /metrics     Prometheus text exposition (unversioned by scrape
+//	                  convention)
+//
+// Every error response uses one envelope: {"error": "...", "code":
+// "...", "retry_after_ms": n} (retry_after_ms only on retryable
+// errors, mirroring the Retry-After header). The legacy unversioned
+// routes remain as deprecated aliases answering identically plus a
+// Deprecation header and a Link to the v1 successor.
+
+// Error codes of the v1 envelope. The code is the stable programmatic
+// discriminator; the error text is for humans and may change.
+const (
+	CodeBadRequest     = "bad_request"     // 400: malformed body or values
+	CodeTimeout        = "timeout"         // 408: ?wait=1 outlived the request context
+	CodeOverloaded     = "overloaded"      // 429: admission control shed the batch
+	CodeUnprocessable  = "unprocessable"   // 422: the engine cannot answer (e.g. no predictor)
+	CodeUnavailable    = "unavailable"     // 503: closed, crashed, or no result yet
+	CodeNotImplemented = "not_implemented" // 501: engine lacks the capability (e.g. no codec)
+	CodeInternal       = "internal"        // 500: unexpected failure
+)
+
+// ErrorEnvelope is the uniform v1 error body.
+type ErrorEnvelope struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// NewHandler exposes a Server over HTTP/JSON. The surface is identical
+// for every hosted engine kind; /v1/model renders the engine's own
+// model shape (ridge weights for analysis, rows for count/float/join,
+// the compound aggregate for COVAR).
 //
 // Every route is instrumented with a latency histogram and
 // status-class counters (fivm_http_request_seconds,
-// fivm_http_requests_total).
+// fivm_http_requests_total); the v1 route and its legacy alias count as
+// distinct routes, so a dashboard shows alias traffic draining.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
-	mux.HandleFunc("GET /predict", s.instrument("/predict", s.handlePredict))
-	mux.HandleFunc("GET /model", s.instrument("/model", s.handleModel))
-	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
-	mux.HandleFunc("GET /viewtree", s.instrument("/viewtree", s.handleViewTree))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"POST", "/update", s.handleUpdate},
+		{"GET", "/predict", s.handlePredict},
+		{"GET", "/model", s.handleModel},
+		{"GET", "/stats", s.handleStats},
+		{"GET", "/viewtree", s.handleViewTree},
+		{"GET", "/healthz", s.handleHealthz},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, s.instrument("/v1"+rt.path, rt.h))
+		mux.HandleFunc(rt.method+" "+rt.path, s.instrument(rt.path, deprecated("/v1"+rt.path, rt.h)))
+	}
+	mux.HandleFunc("GET /v1/partial", s.instrument("/v1/partial", s.handlePartial))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
+}
+
+// deprecated wraps a legacy unversioned route: the same handler, plus a
+// Deprecation header (RFC 9745) and a Link to the v1 successor so
+// clients can migrate mechanically.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // statusRecorder captures the response code for the status-class
@@ -76,33 +132,37 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-type updateJSON struct {
+// UpdateJSON is the wire form of one tuple update in a POST /v1/update
+// body. Mult defaults to 1 (insert) when omitted; negative deletes.
+type UpdateJSON struct {
 	Rel   string `json:"rel"`
 	Tuple []any  `json:"tuple"`
-	// Mult defaults to 1 (insert) when omitted; negative deletes.
-	Mult *int `json:"mult"`
+	Mult  *int   `json:"mult,omitempty"`
 }
 
 type updateRequest struct {
-	Updates []updateJSON `json:"updates"`
+	Updates []UpdateJSON `json:"updates"`
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
+// DecodeUpdates parses a v1 update request body, returning both the
+// raw wire updates (numbers preserved as json.Number, so re-encoding a
+// sub-batch is lossless) and their typed form. Exported for the cluster
+// router, which decodes once, partitions by join key, and forwards
+// per-shard sub-batches.
+func DecodeUpdates(r io.Reader) ([]UpdateJSON, []view.Update, error) {
+	dec := json.NewDecoder(r)
 	dec.UseNumber()
 	var req updateRequest
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
-		return
+		return nil, nil, fmt.Errorf("decoding body: %w", err)
 	}
 	ups := make([]view.Update, 0, len(req.Updates))
 	for i, u := range req.Updates {
 		tuple := make(value.Tuple, len(u.Tuple))
 		for j, f := range u.Tuple {
-			v, err := valueFromJSON(f)
+			v, err := ValueFromJSON(f)
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("updates[%d].tuple[%d]: %w", i, j, err))
-				return
+				return nil, nil, fmt.Errorf("updates[%d].tuple[%d]: %w", i, j, err)
 			}
 			tuple[j] = v
 		}
@@ -112,6 +172,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		ups = append(ups, view.Update{Rel: u.Rel, Tuple: tuple, Mult: mult})
 	}
+	return req.Updates, ups, nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	_, ups, err := DecodeUpdates(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
 	done, err := s.Ingest(ups)
 	if err != nil {
 		var oe *OverloadError
@@ -119,12 +188,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &oe):
 			// Backpressure, not failure: tell the client when to come
 			// back instead of blocking its connection behind the backlog.
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrClosed):
-			writeErr(w, http.StatusServiceUnavailable, err)
+			writeRetryErr(w, http.StatusTooManyRequests, CodeOverloaded, err, time.Second)
+		case errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed):
+			writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 		default:
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		}
 		return
 	}
@@ -134,7 +202,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		case <-done:
 			applied = true
 		case <-r.Context().Done():
-			writeErr(w, http.StatusRequestTimeout, r.Context().Err())
+			writeErr(w, http.StatusRequestTimeout, CodeTimeout, r.Context().Err())
 			return
 		}
 	}
@@ -151,7 +219,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := snap.Predict(x)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -167,7 +235,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	body, err := snap.Model.ResultJSON()
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 		return
 	}
 	out, ok := body.(map[string]any)
@@ -231,6 +299,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handlePartial serves the shard's partial result for cross-shard
+// merging: the maintained result relation in the engine's binary
+// partial format (see view.Tree.WritePartial). It runs on the writer
+// goroutine between batches, so the body is one consistent batch
+// boundary, and X-Fivm-Applied carries the cumulative applied-update
+// counter that boundary covers — with a WAL it is the recovery-durable
+// cumulative count (survives restarts), without one the counter since
+// boot. A cluster router compares it against its per-shard acked
+// counts to enforce read-your-writes on merged reads.
+func (s *Server) handlePartial(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	var applied uint64
+	var werr error
+	err := s.Sync(func(m Maintainable) {
+		applied = s.nApplied
+		if s.cfg.WAL != nil {
+			applied = s.walPos.Applied
+		}
+		werr = m.WritePartial(&buf)
+	})
+	switch {
+	case errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed):
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	case werr != nil:
+		writeErr(w, http.StatusNotImplemented, CodeNotImplemented, werr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Fivm-Applied", strconv.FormatUint(applied, 10))
+	_, _ = w.Write(buf.Bytes())
+}
+
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -242,9 +346,10 @@ func (s *Server) handleViewTree(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, s.ViewTree())
 }
 
-// valueFromJSON converts a decoded JSON scalar (with json.Number
-// preserved) to a typed value.
-func valueFromJSON(v any) (value.Value, error) {
+// ValueFromJSON converts a decoded JSON scalar (with json.Number
+// preserved) to a typed value. Exported for programmatic clients of the
+// wire protocol (the cluster router).
+func ValueFromJSON(v any) (value.Value, error) {
 	switch x := v.(type) {
 	case nil:
 		return value.Null(), nil
@@ -270,6 +375,31 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]any{"error": err.Error()})
+// WriteJSON writes a JSON response body. Exported so the cluster
+// router answers in exactly the worker wire shapes.
+func WriteJSON(w http.ResponseWriter, code int, body any) { writeJSON(w, code, body) }
+
+// WriteError answers with the uniform v1 error envelope (exported for
+// the cluster router).
+func WriteError(w http.ResponseWriter, status int, code string, err error) {
+	writeErr(w, status, code, err)
+}
+
+// WriteRetryError is WriteError plus the Retry-After header and
+// retry_after_ms field.
+func WriteRetryError(w http.ResponseWriter, status int, code string, err error, retry time.Duration) {
+	writeRetryErr(w, status, code, err, retry)
+}
+
+// writeErr answers with the uniform v1 error envelope.
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: err.Error(), Code: code})
+}
+
+// writeRetryErr is writeErr plus retry hints: the Retry-After header
+// (whole seconds) and the envelope's retry_after_ms carry the same
+// delay.
+func writeRetryErr(w http.ResponseWriter, status int, code string, err error, retry time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+	writeJSON(w, status, ErrorEnvelope{Error: err.Error(), Code: code, RetryAfterMS: retry.Milliseconds()})
 }

@@ -46,6 +46,9 @@ type Maintainable interface {
 	WriteSnapshot(w io.Writer) error
 	// ReadSnapshot restores input relations and re-evaluates views.
 	ReadSnapshot(r io.Reader) error
+	// WritePartial serializes the maintained result relation for
+	// cross-shard merging (the body of GET /v1/partial).
+	WritePartial(w io.Writer) error
 }
 
 // Compile-time check: engines from fivm.Open satisfy Maintainable.
@@ -110,6 +113,15 @@ type Config struct {
 	// checkpoint when a WAL is configured (default 1m; negative disables
 	// the periodic loop — Close still writes a final checkpoint).
 	CheckpointInterval time.Duration
+}
+
+// Validate reports the configuration error withDefaults would reject,
+// without constructing a Server. CLI front-ends validate flags through
+// it before loading any data, so a bad knob fails fast with exactly the
+// error text New would produce.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
 }
 
 // withDefaults fills zero fields and rejects nonsensical explicit

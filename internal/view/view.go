@@ -403,6 +403,33 @@ func (t *Tree[V]) ResultPayload() V {
 	return t.result.GetOr(value.Tuple{}, t.ring.Zero())
 }
 
+// PartitionKey returns the attribute positions relation rel's deltas
+// hash-partition on: the relation's anchor dependency set restricted to
+// its schema, the join key through which the relation's effects flow
+// upward. It is exactly the key applyDeltaParallel uses, exported so an
+// out-of-process shard map (internal/cluster) routes rel's updates to
+// the same partition the in-process partitioner would. An empty key
+// (relation fully marginalized at its anchor) means partitioning hashes
+// the full tuple; ok is false when rel is not an input relation.
+func (t *Tree[V]) PartitionKey(rel string) (keyIdx []int, ok bool) {
+	src, found := t.sources[rel]
+	if !found {
+		return nil, false
+	}
+	return src.data.PartitionKey(src.anchor.vn.Keys), true
+}
+
+// SwapResult replaces the maintained result relation with m and returns
+// the previous one. It is the low-level hook behind cross-shard model
+// merging: a merger swaps a ring-merged relation in, publishes a model
+// from it, and swaps the original back before any maintenance resumes.
+// Views and sources are untouched; m must use the result schema.
+func (t *Tree[V]) SwapResult(m *relation.Map[V]) *relation.Map[V] {
+	old := t.result
+	t.result = m
+	return old
+}
+
 // Stats returns maintenance counters accumulated so far.
 func (t *Tree[V]) Stats() Stats { return t.stats }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// runChaos runs one faultnet proxy in front of one backend: shell
+// scripts (the CI chaos job) put a worker or router behind it and
+// drive traffic through the proxy's address. The fault schedule is
+// seeded, so a failing run reproduces with the same -seed.
+func runChaos(args []string) int {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	target := fs.String("target", "", "backend to proxy, host:port or http://host:port (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "proxy listen address")
+	seed := fs.Int64("seed", 1, "fault-schedule seed (same seed = same fault sequence)")
+	duration := fs.Duration("duration", 0, "how long to run (0 = until SIGINT/SIGTERM)")
+	weights := fs.String("weights", "none=90,latency=4,reset=2,blackhole=1,truncate=3",
+		"per-connection fault-kind weights as kind=w pairs")
+	maxLatency := fs.Duration("max-latency", 50*time.Millisecond, "upper bound of injected latency")
+	maxAfter := fs.Int("max-after", 256, "max bytes forwarded before a reset/truncate cut")
+	partitionEvery := fs.Duration("partition-every", 0, "cycle a full partition with this period (0 disables)")
+	partitionFor := fs.Duration("partition-for", time.Second, "partition length within each -partition-every cycle")
+	jsonOut := fs.String("json", "", "also write the final proxy stats JSON to this file")
+	fs.Parse(args)
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "fivm-bench chaos: -target is required")
+		return 2
+	}
+	addr := strings.TrimPrefix(strings.TrimPrefix(*target, "http://"), "https://")
+	addr = strings.TrimSuffix(addr, "/")
+
+	w, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench chaos: %v\n", err)
+		return 2
+	}
+	w.MaxLatency = *maxLatency
+	w.MaxAfter = *maxAfter
+
+	p, err := faultnet.Listen(*listen, addr, faultnet.NewRandSchedule(*seed, w))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench chaos: %v\n", err)
+		return 1
+	}
+	defer p.Close()
+	// The listen address goes to stdout first thing, so scripts with
+	// -listen :0 can capture the port.
+	fmt.Printf("chaos proxy %s -> %s (seed %d, weights %s)\n", p.Addr(), addr, *seed, *weights)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeUp <-chan time.Time
+	if *duration > 0 {
+		timeUp = time.After(*duration)
+	}
+	var nextPartition <-chan time.Time
+	if *partitionEvery > 0 {
+		nextPartition = time.After(*partitionEvery)
+	}
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-timeUp:
+			break loop
+		case <-nextPartition:
+			p.Partition(true)
+			fmt.Printf("chaos: partition on for %v\n", *partitionFor)
+			select {
+			case <-time.After(*partitionFor):
+			case <-stop:
+				p.Partition(false)
+				break loop
+			}
+			p.Partition(false)
+			fmt.Println("chaos: partition healed")
+			nextPartition = time.After(*partitionEvery)
+		}
+	}
+
+	out, err := json.MarshalIndent(p.Stats(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fivm-bench chaos: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fivm-bench chaos: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// parseWeights decodes "none=90,reset=5,..." into faultnet.Weights.
+func parseWeights(s string) (faultnet.Weights, error) {
+	var w faultnet.Weights
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return w, fmt.Errorf("bad weight %q (want kind=w)", pair)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad weight %q: want a non-negative integer", pair)
+		}
+		switch strings.TrimSpace(kind) {
+		case "none":
+			w.None = n
+		case "latency":
+			w.Latency = n
+		case "reset":
+			w.Reset = n
+		case "blackhole":
+			w.Blackhole = n
+		case "truncate":
+			w.Truncate = n
+		default:
+			return w, fmt.Errorf("unknown fault kind %q (want none|latency|reset|blackhole|truncate)", kind)
+		}
+	}
+	if w.None+w.Latency+w.Reset+w.Blackhole+w.Truncate == 0 {
+		return w, fmt.Errorf("weights %q sum to zero", s)
+	}
+	return w, nil
+}

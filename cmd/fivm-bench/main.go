@@ -15,6 +15,7 @@
 //	fivm-bench parallelcheck [-min-speedup 2] [-json PARALLEL_dev.json] BENCH_dev.json
 //	fivm-bench clustercheck [-min-speedup 1.5] [-json CLUSTERCHECK_dev.json] BENCH_dev.json
 //	fivm-bench loadgen -url http://localhost:8344 -duration 10s -concurrency 8 -write-ratio 0.5 [-json LOADGEN.json]
+//	fivm-bench chaos -target 127.0.0.1:8351 [-listen 127.0.0.1:9351] [-seed 1] [-weights none=90,reset=5,blackhole=5] [-partition-every 5s] [-json CHAOS.json]
 package main
 
 import (
@@ -47,6 +48,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		os.Exit(runLoadgen(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		os.Exit(runChaos(os.Args[2:]))
 	}
 
 	exp := flag.String("exp", "all", "experiment id: e1|e2|e3|e4|e5|e6|e7|e8|a1|a2|a3|a4|all, or perf")
@@ -280,6 +284,7 @@ func runLoadgen(args []string) int {
 	writeRatio := fs.Float64("write-ratio", 0.5, "fraction of requests that are POST /update (rest are GET /model)")
 	batch := fs.Int("batch", 8, "tuples per write request")
 	seed := fs.Int64("seed", 1, "RNG seed for the generated tuple stream")
+	retries := fs.Int("retries", 0, "client retries per request (0 = a fault counts as an error; >0 = chaos mode, batch-ID dedup absorbs redeliveries)")
 	jsonOut := fs.String("json", "", "also write the JSON report to this file")
 	fs.Parse(args)
 
@@ -290,6 +295,7 @@ func runLoadgen(args []string) int {
 		WriteRatio:  *writeRatio,
 		BatchSize:   *batch,
 		Seed:        *seed,
+		Retries:     *retries,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fivm-bench: %v\n", err)

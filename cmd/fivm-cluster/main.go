@@ -57,6 +57,8 @@ func main() {
 	spawnPort := flag.Int("spawn-port", 8351, "first worker port in -spawn mode (worker i listens on 127.0.0.1:port+i)")
 	shardBy := flag.String("shard-by", "", "anchor relation partitioned across shards (default: first declared relation)")
 	coverWait := flag.Duration("cover-wait", 2*time.Second, "how long a merged read waits for every shard to cover acked writes")
+	retryBudget := flag.Duration("retry-budget", 2*time.Second, "how long a write retries a shard's transport failures and 503s before giving up (negative disables)")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-attempt ceiling on any one shard HTTP request, so a black-holed worker fails the attempt instead of hanging it (0 = none)")
 	db := flag.String("db", "", "rejected: presets bulk-load per worker and would duplicate the anchor relation")
 	engine := flag.String("engine", "", "engine kind: analysis|count|float|covar|rangedcovar|join (default: inferred from the other flags)")
 	query := flag.String("query", "", `SQL-subset query for count/float engines`)
@@ -68,6 +70,7 @@ func main() {
 	walDir := flag.String("wal", "", "-spawn mode: durability root; worker i logs under DIR/shard-i")
 	fsyncPolicy := flag.String("fsync", string(wal.PolicyInterval), "-spawn mode: worker WAL fsync policy: always|interval|off")
 	highWatermark := flag.Int("high-watermark", 0, "-spawn mode: worker ingest shed watermark (0 = channel capacity)")
+	dedupCap := flag.Int("dedup-cap", 0, "-spawn mode: worker idempotency dedup table capacity (0 = 8192)")
 	checkpointEvery := flag.Duration("checkpoint-interval", time.Minute, "-spawn mode: worker checkpoint period")
 	version := flag.Bool("version", false, "print build information and exit")
 	worker := flag.Bool("worker", false, "internal: run one spawned worker daemon (set by -spawn re-exec)")
@@ -97,6 +100,7 @@ func main() {
 		CheckpointInterval: *checkpointEvery,
 		SegmentBytes:       64 << 20,
 		HighWatermark:      *highWatermark,
+		DedupCap:           *dedupCap,
 	}
 
 	if *worker {
@@ -147,12 +151,17 @@ func main() {
 		}
 	}
 
-	rt, err := cluster.New(cluster.Config{
-		ShardURLs: urls,
-		Engine:    cfg,
-		ShardBy:   *shardBy,
-		CoverWait: *coverWait,
-	})
+	clusterCfg := cluster.Config{
+		ShardURLs:   urls,
+		Engine:      cfg,
+		ShardBy:     *shardBy,
+		CoverWait:   *coverWait,
+		RetryBudget: *retryBudget,
+	}
+	if *shardTimeout > 0 {
+		clusterCfg.HTTPClient = &http.Client{Timeout: *shardTimeout}
+	}
+	rt, err := cluster.New(clusterCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,7 +203,7 @@ func spawnWorkers(n, portBase int, walDir string) (urls []string, children []*ex
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "engine", "query", "relations", "features", "attrs", "label",
-			"workers", "fsync", "high-watermark", "checkpoint-interval":
+			"workers", "fsync", "high-watermark", "dedup-cap", "checkpoint-interval":
 			common = append(common, "-"+f.Name, f.Value.String())
 		}
 	})

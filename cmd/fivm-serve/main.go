@@ -93,6 +93,7 @@ func main() {
 	flag.IntVar(&o.MaxBatch, "max-batch", 8192, "max raw updates coalesced into one delta batch")
 	flag.IntVar(&o.ChannelCap, "chan-cap", 256, "per-relation ingest channel capacity")
 	flag.IntVar(&o.HighWatermark, "high-watermark", 0, "ingest queue depth at which /v1/update sheds with 429 (0 = chan-cap)")
+	flag.IntVar(&o.DedupCap, "dedup-cap", 0, "idempotency dedup table capacity in recently seen batch groups (0 = 8192)")
 	flag.IntVar(&o.Workers, "workers", 0, "parallel delta-propagation workers (0 sequential, -1 = GOMAXPROCS, n >= 2 = n workers)")
 	flag.BoolVar(&o.Trace, "trace", false, "log one structured line per batch and per snapshot publish")
 	version := flag.Bool("version", false, "print build information and exit")

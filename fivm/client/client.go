@@ -3,14 +3,26 @@
 // router's shard calls, the fivm-bench load generator, and the serving
 // example alike. It speaks the versioned /v1/ routes, decodes the
 // uniform error envelope ({"error","code","retry_after_ms"}) into
-// *APIError, and retries 429 responses with backoff honoring the
-// server's Retry-After hint (shed batches were never enqueued, so the
-// retry cannot double-apply).
+// *APIError, and retries with backoff honoring the server's Retry-After
+// hint.
+//
+// Every Update call is stamped with a batch ID (the X-Fivm-Batch-Id
+// header: the client's random 128-bit origin plus a per-client
+// sequence number), which makes the request idempotent server-side —
+// the server's dedup table answers a redelivered ID with the original
+// ack instead of applying the batch again. That is what lets the retry
+// loop safely retry transport failures and 503s, where the first
+// delivery may or may not have been applied: 429s were shed before
+// enqueueing and are always retried, while transport errors and 503s
+// are retried only for idempotent requests (GETs, or identified
+// updates).
 package client
 
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,8 +31,12 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// BatchIDHeader carries the idempotency batch ID on POST /v1/update.
+const BatchIDHeader = "X-Fivm-Batch-Id"
 
 // Update is the wire form of one tuple update. Tuple elements must be
 // JSON scalars (numbers, strings, nil); Mult nil means 1 (insert),
@@ -41,11 +57,14 @@ func NewUpdate(rel string, mult int, tuple ...any) Update {
 }
 
 // UpdateAck is the response to a POST /v1/update: how many updates the
-// server admitted, and whether they were already applied when the
-// response was written (wait=true).
+// server admitted, whether they were already applied when the response
+// was written (wait=true), and how many were recognized as duplicates
+// of an earlier delivery of the same batch ID (suppressed, not
+// re-applied; Deduped == Accepted means the whole batch was a replay).
 type UpdateAck struct {
 	Accepted int  `json:"accepted"`
 	Applied  bool `json:"applied"`
+	Deduped  int  `json:"deduped"`
 }
 
 // Model is a decoded GET /v1/model response: the engine-specific body
@@ -142,9 +161,10 @@ type Option func(*Client)
 // transports, test doubles).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
-// WithRetries bounds how many times a 429 response is retried before
-// surfacing the APIError; 0 disables retrying (load generators keep
-// their own shed accounting).
+// WithRetries bounds how many times a retryable failure — a 429, or a
+// transport error or 503 on an idempotent request — is retried before
+// surfacing; 0 disables retrying (load generators keep their own shed
+// accounting, and the cluster router owns its own per-shard policy).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // WithBackoff sets the base and maximum retry delay. The server's
@@ -161,13 +181,17 @@ type Client struct {
 	retries    int
 	backoff    time.Duration
 	maxBackoff time.Duration
+	// origin is this client instance's random 128-bit identity; origin
+	// plus the batchSeq counter forms each Update call's batch ID.
+	origin   [16]byte
+	batchSeq atomic.Uint64
 }
 
 var _ ModelReader = (*Client)(nil)
 
 // New builds a client for the server at base (e.g.
 // "http://127.0.0.1:8344"). Defaults: the shared http.DefaultClient, 3
-// retries on 429, 100ms base / 2s max backoff.
+// retries, 100ms base / 2s max backoff.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
 		base:       strings.TrimRight(base, "/"),
@@ -176,6 +200,7 @@ func New(base string, opts ...Option) *Client {
 		backoff:    100 * time.Millisecond,
 		maxBackoff: 2 * time.Second,
 	}
+	_, _ = crand.Read(c.origin[:]) // never fails on supported platforms
 	for _, o := range opts {
 		o(c)
 	}
@@ -185,11 +210,31 @@ func New(base string, opts ...Option) *Client {
 // Base returns the server URL the client was built for.
 func (c *Client) Base() string { return c.base }
 
-// Update posts one batch of updates. wait=true blocks until the batch
-// is applied and a model snapshot reflecting it is published — after a
-// wait-acknowledged batch, any read (on this worker, or merged through
-// a router tracking acks) observes it.
+// Update posts one batch of updates, stamped with a fresh batch ID so
+// the server can deduplicate redeliveries — every retry of this call
+// (transport failure, 503, 429) resends the identical body under the
+// identical ID, which is exactly the contract the server's dedup table
+// requires. wait=true blocks until the batch is applied and a model
+// snapshot reflecting it is published — after a wait-acknowledged
+// batch, any read (on this worker, or merged through a router tracking
+// acks) observes it.
 func (c *Client) Update(ctx context.Context, ups []Update, wait bool) (*UpdateAck, error) {
+	return c.UpdateWithID(ctx, c.NextBatchID(), ups, wait)
+}
+
+// NextBatchID mints the next batch ID in this client's sequence (its
+// random origin, a dash, a strictly increasing decimal counter). Use
+// it with UpdateWithID to retry one batch across calls — or across
+// clients — under one identity.
+func (c *Client) NextBatchID() string {
+	return hex.EncodeToString(c.origin[:]) + "-" + strconv.FormatUint(c.batchSeq.Add(1), 10)
+}
+
+// UpdateWithID is Update under an explicit batch ID (the cluster
+// router forwards the client's incoming ID to every shard this way).
+// An empty batchID sends an unidentified — non-idempotent, never
+// retried on 503 or transport failure — request.
+func (c *Client) UpdateWithID(ctx context.Context, batchID string, ups []Update, wait bool) (*UpdateAck, error) {
 	body, err := json.Marshal(map[string]any{"updates": ups})
 	if err != nil {
 		return nil, err
@@ -198,9 +243,14 @@ func (c *Client) Update(ctx context.Context, ups []Update, wait bool) (*UpdateAc
 	if wait {
 		path += "?wait=1"
 	}
-	var ack UpdateAck
-	if err := c.doJSON(ctx, http.MethodPost, path, body, &ack); err != nil {
+	resp, err := c.doID(ctx, http.MethodPost, path, body, batchID)
+	if err != nil {
 		return nil, err
+	}
+	defer resp.Body.Close()
+	var ack UpdateAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("fivm: decoding %s response: %w", path, err)
 	}
 	return &ack, nil
 }
@@ -328,10 +378,28 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 	return nil
 }
 
-// do performs one request with the retry loop. Non-2xx responses are
-// decoded into *APIError; only 429 is retried (the server sheds before
-// enqueueing, so a retried batch cannot double-apply).
+// do performs one request with the retry loop (see doID).
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	return c.doID(ctx, method, path, body, "")
+}
+
+// doID performs one request with the retry loop, stamping batchID on
+// it when non-empty. Non-2xx responses are decoded into *APIError.
+// What retries depends on what a redelivery can do:
+//
+//   - 429: always retried — the server shed the batch before
+//     enqueueing, so the retry cannot double-apply.
+//   - Transport errors and 503s: retried only for idempotent requests
+//     (GETs, and updates identified by a batch ID, which the server
+//     deduplicates). An unidentified POST that failed mid-flight may
+//     or may not have been applied; retrying it could double-apply,
+//     so the error surfaces instead.
+//
+// Backoff doubles from the configured base, clamped to the maximum;
+// a server Retry-After hint (header or envelope) overrides the
+// computed delay for that attempt, clamped the same way.
+func (c *Client) doID(ctx context.Context, method, path string, body []byte, batchID string) (*http.Response, error) {
+	idempotent := method == http.MethodGet || batchID != ""
 	delay := c.backoff
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -345,21 +413,32 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode/100 == 2 {
-			return resp, nil
-		}
-		apiErr := decodeAPIError(resp)
-		resp.Body.Close()
-		if apiErr.Status != http.StatusTooManyRequests || attempt >= c.retries {
-			return nil, apiErr
+		if batchID != "" {
+			req.Header.Set(BatchIDHeader, batchID)
 		}
 		wait := delay
-		if apiErr.RetryAfter > 0 {
-			wait = apiErr.RetryAfter
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if !idempotent || attempt >= c.retries {
+				return nil, err
+			}
+		} else {
+			if resp.StatusCode/100 == 2 {
+				return resp, nil
+			}
+			apiErr := decodeAPIError(resp)
+			resp.Body.Close()
+			retryable := apiErr.Status == http.StatusTooManyRequests ||
+				(idempotent && apiErr.Status == http.StatusServiceUnavailable)
+			if !retryable || attempt >= c.retries {
+				return nil, apiErr
+			}
+			if apiErr.RetryAfter > 0 {
+				wait = apiErr.RetryAfter
+			}
 		}
 		if wait > c.maxBackoff {
 			wait = c.maxBackoff
@@ -378,14 +457,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 
 // decodeAPIError unwraps an error response: the v1 envelope when
 // present, the legacy {"error"} shape, or the raw body as a last
-// resort. The Retry-After header and the envelope's retry_after_ms
-// both feed RetryAfter (the envelope wins on conflict — it has
-// millisecond resolution).
+// resort. The Retry-After header — integer seconds or an HTTP-date,
+// both allowed by RFC 9110 — and the envelope's retry_after_ms both
+// feed RetryAfter (the envelope wins on conflict — it has millisecond
+// resolution). Non-positive hints in either form are ignored: a
+// negative or past-dated Retry-After must not turn into a zero-wait
+// hot retry loop.
 func decodeAPIError(resp *http.Response) *APIError {
 	ae := &APIError{Status: resp.StatusCode}
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if secs, err := strconv.Atoi(s); err == nil {
-			ae.RetryAfter = time.Duration(secs) * time.Second
+			if secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		} else if t, terr := http.ParseTime(s); terr == nil {
+			if d := time.Until(t); d > 0 {
+				ae.RetryAfter = d
+			}
 		}
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -397,7 +485,7 @@ func decodeAPIError(resp *http.Response) *APIError {
 	if err := json.Unmarshal(data, &env); err == nil && env.Error != "" {
 		ae.Message = env.Error
 		ae.Code = env.Code
-		if env.RetryAfterMS > 0 {
+		if env.RetryAfterMS > 0 { // negative envelopes are ignored, not zero-wait
 			ae.RetryAfter = time.Duration(env.RetryAfterMS) * time.Millisecond
 		}
 	} else {

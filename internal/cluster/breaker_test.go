@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() || b.current() != breakerClosed {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Failures below the threshold keep it closed; a success resets
+	// the streak.
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if b.current() != breakerClosed {
+		t.Fatalf("state after interrupted streak = %v, want closed", b.current())
+	}
+	b.onFailure()
+	if b.current() != breakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but the probe was rejected")
+	}
+	if b.current() != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent request")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	b.onFailure()
+	if b.current() != breakerOpen || b.allow() {
+		t.Fatal("failed probe must re-open the breaker immediately")
+	}
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but the probe was rejected")
+	}
+	// A successful probe closes it fully.
+	b.onSuccess()
+	if b.current() != breakerClosed || !b.allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/fivm/client"
 	"repro/internal/serve"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // Handler exposes the router over the same v1 wire protocol as one
@@ -46,6 +47,21 @@ func (rt *Router) Handler() http.Handler {
 
 func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	rt.writes.Inc()
+	// The client's batch ID is forwarded verbatim to every shard, so a
+	// client-level retry of the whole request dedups there; a write
+	// without one gets a router-minted ID, so the router's own
+	// per-shard retries stay idempotent regardless of the client.
+	batchID := r.Header.Get(serve.BatchIDHeader)
+	if batchID != "" {
+		if _, err := wal.ParseBatchID(batchID); err != nil {
+			rt.writeErrors.Inc()
+			serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest,
+				fmt.Errorf("%s: %w", serve.BatchIDHeader, err))
+			return
+		}
+	} else {
+		batchID = rt.mintBatchID()
+	}
 	raws, ups, err := serve.DecodeUpdates(r.Body)
 	if err != nil {
 		rt.writeErrors.Inc()
@@ -69,13 +85,17 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			owners[i] = -1
 		}
 	}
-	perShard, failed := rt.fanOutWrite(r.Context(), rt.subBatches(raws, owners))
+	perShard, deduped, failed := rt.fanOutWrite(r.Context(), batchID, rt.subBatches(raws, owners))
 	if len(failed) > 0 {
 		rt.writeErrors.Inc()
 		ids := make([]int, len(failed))
 		allOverloaded := true
+		retries := make([]shardRetryDetail, len(failed))
 		for i, f := range failed {
 			ids[i] = f.id
+			retries[i] = shardRetryDetail{
+				Shard: f.id, Attempts: f.attempts, Exhausted: f.exhausted, Error: f.err.Error(),
+			}
 			var ae *client.APIError
 			if !errors.As(f.err, &ae) || ae.Status != http.StatusTooManyRequests {
 				allOverloaded = false
@@ -88,14 +108,44 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			serve.WriteRetryError(w, http.StatusTooManyRequests, serve.CodeOverloaded, err, time.Second)
 			return
 		}
-		serve.WriteError(w, http.StatusServiceUnavailable, serve.CodeUnavailable, err)
+		// The standard envelope plus per-shard retry detail: how many
+		// attempts each failing shard got and whether the router gave
+		// up because the retry budget ran dry (exhausted) or because
+		// the rejection was terminal.
+		serve.WriteJSON(w, http.StatusServiceUnavailable, retryErrorEnvelope{
+			ErrorEnvelope: serve.ErrorEnvelope{Error: err.Error(), Code: serve.CodeUnavailable},
+			Retries:       retries,
+		})
 		return
 	}
-	serve.WriteJSON(w, http.StatusAccepted, map[string]any{
+	ack := map[string]any{
 		"accepted": len(ups),
 		"applied":  true,
 		"shards":   perShard,
-	})
+	}
+	if deduped > 0 {
+		ack["deduped"] = deduped
+	}
+	serve.WriteJSON(w, http.StatusAccepted, ack)
+}
+
+// shardRetryDetail is one failing shard's row in the 503 envelope.
+type shardRetryDetail struct {
+	Shard int `json:"shard"`
+	// Attempts counts requests actually sent (0: the circuit breaker
+	// failed the write fast).
+	Attempts int `json:"attempts"`
+	// Exhausted is true when retryable failures outlived the retry
+	// budget, false when the shard's rejection was terminal.
+	Exhausted bool   `json:"exhausted"`
+	Error     string `json:"error"`
+}
+
+// retryErrorEnvelope extends the uniform v1 error envelope with the
+// router's per-shard retry detail.
+type retryErrorEnvelope struct {
+	serve.ErrorEnvelope
+	Retries []shardRetryDetail `json:"retries"`
 }
 
 func countTouched(perShard map[string]int, failed []shardError) int {

@@ -3,11 +3,15 @@ package cluster
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +46,18 @@ type Config struct {
 	// ProbeInterval paces the background health prober feeding
 	// /metrics gauges (default 2s; negative disables it).
 	ProbeInterval time.Duration
+	// RetryBudget bounds how long one write keeps retrying a shard's
+	// transport failures and 503s (full-jitter exponential backoff
+	// between attempts) before giving up on that shard; the request
+	// context's deadline always wins when it is sooner. Default 2s;
+	// negative disables per-shard retries entirely.
+	RetryBudget time.Duration
+	// BreakerThreshold is how many consecutive retryable failures open
+	// a shard's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// admitting a half-open probe (default 1s).
+	BreakerCooldown time.Duration
 }
 
 // shardRef is the router's per-worker state: the client, and the
@@ -58,6 +74,9 @@ type shardRef struct {
 	// counter; up its last observed reachability. Both feed /metrics.
 	applied atomic.Uint64
 	up      atomic.Bool
+	// brk fails writes to a persistently failing shard fast instead of
+	// burning the whole retry budget against it on every request.
+	brk *breaker
 }
 
 // Router fans v1 API traffic across the shard workers. It is stateless
@@ -82,10 +101,18 @@ type Router struct {
 	writeErrors *obs.Counter
 	reads       *obs.Counter
 	readErrors  *obs.Counter
+	retries     *obs.Counter
 	mergeLat    *obs.Histogram
+
+	// origin + batchSeq mint batch IDs for writes that arrive without
+	// an X-Fivm-Batch-Id, so the router's own per-shard retries are
+	// idempotent even for clients that don't speak the header.
+	origin   [16]byte
+	batchSeq atomic.Uint64
 
 	stop     chan struct{}
 	stopOnce sync.Once
+	probeWG  sync.WaitGroup
 }
 
 // New builds a router over cfg.ShardURLs. It opens the merger engine
@@ -100,6 +127,15 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 2 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
 	}
 	merger, err := fivm.Open(cfg.Engine)
 	if err != nil {
@@ -121,6 +157,7 @@ func New(cfg Config) (*Router, error) {
 		reg:    obs.NewRegistry(),
 		stop:   make(chan struct{}),
 	}
+	_, _ = crand.Read(rt.origin[:])
 	for _, rel := range merger.RelationNames() {
 		n, _ := merger.Arity(rel)
 		rt.arity[rel] = n
@@ -133,7 +170,10 @@ func New(cfg Config) (*Router, error) {
 	// the writing client, which owns the retry budget.
 	opts = append(opts, client.WithRetries(0))
 	for i, u := range cfg.ShardURLs {
-		sh := &shardRef{id: i, url: u, cli: client.New(u, opts...)}
+		sh := &shardRef{
+			id: i, url: u, cli: client.New(u, opts...),
+			brk: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
 		rt.shards = append(rt.shards, sh)
 		label := fmt.Sprintf(`shard="%d"`, i)
 		rt.reg.GaugeFunc("fivm_cluster_shard_up", label,
@@ -150,21 +190,42 @@ func New(cfg Config) (*Router, error) {
 		rt.reg.GaugeFunc("fivm_cluster_shard_applied_updates", label,
 			"The shard's last observed cumulative applied-update counter.",
 			func() float64 { return float64(sh.applied.Load()) })
+		rt.reg.GaugeFunc("fivm_cluster_breaker_state", label,
+			"Shard circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(sh.brk.current()) })
 	}
 	rt.writes = rt.reg.NewCounter("fivm_cluster_requests_total", `op="write"`, "Routed requests by operation.")
 	rt.reads = rt.reg.NewCounter("fivm_cluster_requests_total", `op="read"`, "Routed requests by operation.")
 	rt.writeErrors = rt.reg.NewCounter("fivm_cluster_request_errors_total", `op="write"`, "Routed requests that failed, by operation.")
 	rt.readErrors = rt.reg.NewCounter("fivm_cluster_request_errors_total", `op="read"`, "Routed requests that failed, by operation.")
+	rt.retries = rt.reg.NewCounter("fivm_cluster_retries_total", "",
+		"Per-shard write sub-batch retries (transport failures and 503s re-sent under the retry budget).")
 	rt.mergeLat = rt.reg.NewHistogram("fivm_cluster_merge_seconds", "",
 		"Latency of gathering and ring-merging per-shard partials.", obs.LatencyBuckets())
 	if cfg.ProbeInterval > 0 {
-		go rt.probeLoop()
+		rt.probeWG.Add(1)
+		go func() {
+			defer rt.probeWG.Done()
+			rt.probeLoop()
+		}()
 	}
 	return rt, nil
 }
 
-// Close stops the background prober. In-flight requests finish.
-func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+// Close stops the background prober and waits for it to exit, so no
+// probe can touch the shards after Close returns. In-flight requests
+// finish.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.probeWG.Wait()
+}
+
+// mintBatchID stamps a write that arrived without a batch ID, making
+// the router the retrying origin for it (same wire format as
+// client.NextBatchID: hex origin, dash, decimal sequence).
+func (rt *Router) mintBatchID() string {
+	return hex.EncodeToString(rt.origin[:]) + "-" + strconv.FormatUint(rt.batchSeq.Add(1), 10)
+}
 
 // Map exposes the shard map (tests partition bulk data with it).
 func (rt *Router) Map() *ShardMap { return rt.smap }
@@ -236,19 +297,27 @@ func (rt *Router) subBatches(raws []serve.UpdateJSON, owners []int) [][]client.U
 }
 
 // shardError classifies one shard's write failure for the aggregate
-// response.
+// response and the 503 envelope's retry detail.
 type shardError struct {
 	id  int
 	err error
+	// attempts counts the requests actually sent to the shard (0 means
+	// the circuit breaker failed the write fast without touching the
+	// network); exhausted marks a retryable failure that ran out of
+	// retry budget rather than hitting a terminal rejection.
+	attempts  int
+	exhausted bool
 }
 
 // fanOutWrite sends every non-empty sub-batch concurrently with wait=1
-// — the ack protocol: a shard's 202 means its sub-batch is applied,
-// published, and (when WAL-enabled) logged. Per-shard acked counters
+// under batchID — the ack protocol: a shard's 202 means its sub-batch
+// is applied, published, and (when WAL-enabled) logged. Each shard
+// gets its own retry loop (writeShard), so a transient failure on one
+// shard re-sends only that shard's sub-batch. Per-shard acked counters
 // advance on per-shard success even when the batch fails elsewhere:
 // those updates ARE durably applied, so subsequent merged reads must
 // cover them.
-func (rt *Router) fanOutWrite(ctx context.Context, groups [][]client.Update) (perShard map[string]int, failed []shardError) {
+func (rt *Router) fanOutWrite(ctx context.Context, batchID string, groups [][]client.Update) (perShard map[string]int, deduped int, failed []shardError) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	perShard = make(map[string]int)
@@ -259,27 +328,117 @@ func (rt *Router) fanOutWrite(ctx context.Context, groups [][]client.Update) (pe
 		wg.Add(1)
 		go func(sh *shardRef, g []client.Update) {
 			defer wg.Done()
-			_, err := sh.cli.Update(ctx, g, true)
+			res := rt.writeShard(ctx, sh, batchID, g)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
-				var ae *client.APIError
-				if !errors.As(err, &ae) || ae.Temporary() {
-					// Transport failure or 429/503: the shard is down or
-					// shedding. 4xx rejections leave it up.
-					sh.up.Store(false)
-				}
-				failed = append(failed, shardError{id: sh.id, err: err})
+			if res.err != nil {
+				failed = append(failed, res.shardError)
 				return
 			}
-			sh.up.Store(true)
-			sh.acked.Add(uint64(len(g)))
+			deduped += res.deduped
 			perShard[fmt.Sprintf("%d", sh.id)] = len(g)
 		}(rt.shards[i], g)
 	}
 	wg.Wait()
 	sort.Slice(failed, func(i, j int) bool { return failed[i].id < failed[j].id })
-	return perShard, failed
+	return perShard, deduped, failed
+}
+
+// writeShardResult is writeShard's outcome: shardError doubles as the
+// failure record (err == nil on success) plus the dedup count the
+// shard reported, which keeps the router's acked counter equal to the
+// shard's applied counter when a retry races a delivery that actually
+// landed.
+type writeShardResult struct {
+	shardError
+	deduped int
+}
+
+// writeShard delivers one sub-batch to one shard: transport failures
+// and 503s are retried with full-jitter exponential backoff until the
+// retry budget (or the request deadline, whichever is sooner) runs
+// out, gated by the shard's circuit breaker. 429s are never retried
+// here — backpressure must reach the writing client, which owns the
+// end-to-end retry policy — and other 4xx/5xx rejections are terminal.
+func (rt *Router) writeShard(ctx context.Context, sh *shardRef, batchID string, g []client.Update) writeShardResult {
+	res := writeShardResult{shardError: shardError{id: sh.id}}
+	budget := rt.cfg.RetryBudget
+	if budget < 0 {
+		budget = 0
+	}
+	deadline := time.Now().Add(budget)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	const baseBackoff = 25 * time.Millisecond
+	maxBackoff := budget / 8
+	if maxBackoff < baseBackoff {
+		maxBackoff = baseBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		if !sh.brk.allow() {
+			if res.attempts == 0 {
+				res.err = fmt.Errorf("shard %d: circuit breaker open, failing fast", sh.id)
+			} else {
+				res.exhausted = true // breaker tripped by our own retries
+			}
+			return res
+		}
+		res.attempts++
+		ack, err := sh.cli.UpdateWithID(ctx, batchID, g, true)
+		if err == nil {
+			sh.brk.onSuccess()
+			sh.up.Store(true)
+			fresh := len(g) - ack.Deduped
+			if fresh < 0 {
+				fresh = 0
+			}
+			sh.acked.Add(uint64(fresh))
+			res.err = nil
+			res.deduped = ack.Deduped
+			return res
+		}
+		res.err = err
+		var ae *client.APIError
+		isAPI := errors.As(err, &ae)
+		if !isAPI || ae.Temporary() {
+			// Transport failure or 429/503: the shard is down or
+			// shedding. 4xx rejections leave it up.
+			sh.up.Store(false)
+		}
+		retryable := !isAPI || ae.Status == http.StatusServiceUnavailable
+		if !retryable {
+			return res
+		}
+		sh.brk.onFailure()
+		if ctx.Err() != nil {
+			res.exhausted = true
+			return res
+		}
+		// Full-jitter exponential backoff: uniform over (0, base<<attempt]
+		// capped at budget/8, raised to the shard's Retry-After hint when
+		// it gave one. Stop when the sleep would cross the deadline.
+		step := baseBackoff << uint(min(attempt, 16))
+		if step <= 0 || step > maxBackoff {
+			step = maxBackoff
+		}
+		sleep := time.Duration(rand.Int63n(int64(step)) + 1)
+		if ae != nil && ae.RetryAfter > sleep {
+			sleep = ae.RetryAfter
+		}
+		if time.Now().Add(sleep).After(deadline) {
+			res.exhausted = true
+			return res
+		}
+		rt.retries.Inc()
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			res.err = ctx.Err()
+			res.exhausted = true
+			return res
+		}
+	}
 }
 
 // mergeInfo describes one merged read.
@@ -310,6 +469,15 @@ func (rt *Router) gatherPartials(ctx context.Context, allowStale bool) ([][]byte
 		go func(sh *shardRef) {
 			defer wg.Done()
 			target := sh.acked.Load()
+			// Jittered exponential backoff between polls: the first
+			// re-poll comes fast (a healthy shard is usually one batch
+			// behind), later ones back off to CoverWait/8 so a
+			// recovering shard is not hammered for the whole window.
+			delay := 5 * time.Millisecond
+			maxDelay := rt.cfg.CoverWait / 8
+			if maxDelay < delay {
+				maxDelay = delay
+			}
 			for {
 				p, err := sh.cli.Partial(ctx)
 				if err == nil {
@@ -331,8 +499,12 @@ func (rt *Router) gatherPartials(ctx context.Context, allowStale bool) ([][]byte
 				if time.Now().After(deadline) {
 					return
 				}
+				sleep := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+				if delay *= 2; delay > maxDelay {
+					delay = maxDelay
+				}
 				select {
-				case <-time.After(50 * time.Millisecond):
+				case <-time.After(sleep):
 				case <-ctx.Done():
 					errs[sh.id] = ctx.Err()
 					return

@@ -72,6 +72,9 @@ type Options struct {
 	MaxBatch      int
 	ChannelCap    int
 	HighWatermark int
+	// DedupCap bounds the idempotency dedup table (serve.Config.DedupCap;
+	// 0 = default).
+	DedupCap int
 	// Workers enables parallel delta propagation (-1 = GOMAXPROCS).
 	Workers int
 	// Trace logs one structured line per batch and snapshot publish.
@@ -96,6 +99,7 @@ func (o Options) ServeConfig() serve.Config {
 		MaxBatch:           o.MaxBatch,
 		ChannelCap:         o.ChannelCap,
 		HighWatermark:      o.HighWatermark,
+		DedupCap:           o.DedupCap,
 		CheckpointInterval: o.CheckpointInterval,
 	}
 }

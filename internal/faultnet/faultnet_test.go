@@ -1,0 +1,138 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosClient is an HTTP client shaped like the chaos harness uses:
+// keep-alives off so one request is one connection (one scheduled
+// decision), and a short timeout so blackholes resolve quickly.
+func chaosClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func startBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write([]byte("echo:" + string(body) + strings.Repeat("x", 512)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProxyFaultKinds(t *testing.T) {
+	backend := startBackend(t)
+	target := strings.TrimPrefix(backend.URL, "http://")
+
+	cases := []struct {
+		name    string
+		d       Decision
+		wantErr bool
+	}{
+		{"clean", Decision{Kind: None}, false},
+		{"latency", Decision{Kind: AddLatency, Latency: 10 * time.Millisecond}, false},
+		{"reset", Decision{Kind: Reset, After: 8}, true},
+		{"blackhole", Decision{Kind: Blackhole}, true},
+		{"truncate", Decision{Kind: Truncate, After: 8}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Start(target, Script(tc.d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			cli := chaosClient(500 * time.Millisecond)
+			resp, err := cli.Post(p.URL(), "text/plain", strings.NewReader(strings.Repeat("u", 256)))
+			if err == nil {
+				_, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+			if tc.wantErr && err == nil {
+				t.Fatalf("%s: request succeeded, want a transport failure", tc.name)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			st := p.Stats()
+			if st.Conns != 1 || st.Faults[tc.d.Kind.String()] != 1 {
+				t.Fatalf("%s: stats = %+v, want 1 conn of kind %s", tc.name, st, tc.d.Kind)
+			}
+		})
+	}
+}
+
+func TestProxyScriptThenClean(t *testing.T) {
+	backend := startBackend(t)
+	target := strings.TrimPrefix(backend.URL, "http://")
+	p, err := Start(target, Script(Decision{Kind: Reset, After: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	cli := chaosClient(500 * time.Millisecond)
+	if _, err := cli.Post(p.URL(), "text/plain", strings.NewReader("hello")); err == nil {
+		t.Fatal("scripted reset: request succeeded")
+	}
+	// Past the script every connection is clean — this is how a client
+	// retry succeeds after one injected fault.
+	resp, err := cli.Post(p.URL(), "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatalf("post-script request: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	backend := startBackend(t)
+	target := strings.TrimPrefix(backend.URL, "http://")
+	p, err := Start(target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.Partition(true)
+	cli := chaosClient(200 * time.Millisecond)
+	if _, err := cli.Get(p.URL()); err == nil {
+		t.Fatal("request through a partition succeeded")
+	}
+	if st := p.Stats(); st.Partitioned == 0 {
+		t.Fatalf("stats = %+v, want partitioned > 0", st)
+	}
+
+	p.Partition(false)
+	resp, err := cli.Get(p.URL())
+	if err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestRandScheduleDeterministic(t *testing.T) {
+	w := Weights{None: 60, Latency: 10, Reset: 10, Blackhole: 10, Truncate: 10}
+	a, b := NewRandSchedule(42, w), NewRandSchedule(42, w)
+	other := NewRandSchedule(43, w)
+	diff := false
+	for i := 0; i < 200; i++ {
+		da, db := a.Decide(i), b.Decide(i)
+		if da != db {
+			t.Fatalf("conn %d: same seed diverged: %+v vs %+v", i, da, db)
+		}
+		if da != other.Decide(i) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical 200-decision schedules")
+	}
+}

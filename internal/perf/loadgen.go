@@ -32,6 +32,13 @@ type LoadgenConfig struct {
 	BatchSize int
 	// Seed makes the generated tuple stream reproducible.
 	Seed int64
+	// Retries bounds client-side retries per request. 0, the default,
+	// disables them so a shed write counts as a 429 in the report and
+	// a dropped connection as an error. The chaos harness turns this
+	// up: every write carries a batch ID the server deduplicates, so
+	// retried deliveries are absorbed exactly-once and injected faults
+	// surface as retries, not report errors.
+	Retries int
 }
 
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
@@ -104,8 +111,9 @@ type LoadgenReport struct {
 // and their arities are discovered from GET /v1/stats, so the same
 // loadgen works against any hosted engine — or against a cluster
 // router, which reports the same shards object. It rides the public
-// fivm/client package with retries disabled: a shed write must count as
-// a 429 in the report, not silently succeed on retry.
+// fivm/client package with retries disabled by default: a shed write
+// must count as a 429 in the report, not silently succeed on retry.
+// See LoadgenConfig.Retries for the chaos-harness mode.
 func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -114,7 +122,7 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	ctx := context.Background()
 	cli := client.New(strings.TrimRight(cfg.URL, "/"),
 		client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}),
-		client.WithRetries(0))
+		client.WithRetries(cfg.Retries))
 
 	rels, err := discoverRelations(ctx, cli)
 	if err != nil {

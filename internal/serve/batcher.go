@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // runBatcher drains one relation's shard channel. Each round it greedily
@@ -25,7 +26,7 @@ func (s *Server) runBatcher(sh *shard) {
 		// The first message is the flush's oldest — its wait bounds the
 		// batcher-induced queueing latency for the whole flush.
 		wait := time.Since(msg.at)
-		ups, wgs, chClosed := sh.collect(msg, s.cfg.MaxBatch)
+		ups, wgs, refs, chClosed := sh.collect(msg, s.cfg.MaxBatch)
 		s.met.batcherWait.Observe(wait.Seconds())
 		s.met.batchRaw.Observe(float64(len(ups)))
 		t0 := time.Now()
@@ -47,7 +48,7 @@ func (s *Server) runBatcher(sh *shard) {
 		// acknowledged == logged == recoverable.
 		var seq uint64
 		if sh.wal != nil {
-			if seq, err = sh.wal.Append(ups); err != nil {
+			if seq, err = sh.wal.AppendRefs(ups, refs); err != nil {
 				s.walFail(err)
 				return
 			}
@@ -74,15 +75,23 @@ func (s *Server) runBatcher(sh *shard) {
 // NOT reused: it escapes into the batch handed to the writer, which
 // releases the waiters after the next publish, possibly while this
 // batcher already collects the next round.
-func (sh *shard) collect(first ingestMsg, max int) (ups []view.Update, wgs []*sync.WaitGroup, chClosed bool) {
+// Batch refs of identified messages (see ingestMsg.ref) accumulate into
+// the shard's reusable refbuf — AppendRefs encodes them into the WAL
+// record without retaining the slice, so it too is free by the next
+// flush.
+func (sh *shard) collect(first ingestMsg, max int) (ups []view.Update, wgs []*sync.WaitGroup, refs []wal.BatchRef, chClosed bool) {
 	ups = first.ups
 	wgs = append(wgs, first.wg)
+	sh.refbuf = sh.refbuf[:0]
+	if !first.ref.ID.IsZero() {
+		sh.refbuf = append(sh.refbuf, first.ref)
+	}
 	buffered := false
 	for len(ups) < max {
 		select {
 		case m2, ok := <-sh.ch:
 			if !ok {
-				return ups, wgs, true
+				return ups, wgs, sh.refbuf, true
 			}
 			if !buffered {
 				sh.buf = append(sh.buf[:0], ups...)
@@ -91,11 +100,14 @@ func (sh *shard) collect(first ingestMsg, max int) (ups []view.Update, wgs []*sy
 			sh.buf = append(sh.buf, m2.ups...)
 			ups = sh.buf
 			wgs = append(wgs, m2.wg)
+			if !m2.ref.ID.IsZero() {
+				sh.refbuf = append(sh.refbuf, m2.ref)
+			}
 		default:
-			return ups, wgs, false
+			return ups, wgs, sh.refbuf, false
 		}
 	}
-	return ups, wgs, false
+	return ups, wgs, sh.refbuf, false
 }
 
 // runWriter is the single goroutine allowed to mutate the engine. It

@@ -30,7 +30,7 @@ func TestBatcherCollectSteadyStateAllocs(t *testing.T) {
 			sh.ch <- ingestMsg{ups: ups, wg: &wg}
 		}
 		first := <-sh.ch
-		got, wgs, closed := sh.collect(first, 8192)
+		got, wgs, _, closed := sh.collect(first, 8192)
 		if closed {
 			t.Fatal("channel unexpectedly closed")
 		}
@@ -54,7 +54,7 @@ func TestBatcherCollectSteadyStateAllocs(t *testing.T) {
 func TestBatcherCollectSingleMessagePassthrough(t *testing.T) {
 	sh := &shard{rel: "R", arity: 2, ch: make(chan ingestMsg, 1)}
 	ups := []view.Update{{Rel: "R", Tuple: value.T(1, 2), Mult: 1}}
-	got, wgs, closed := sh.collect(ingestMsg{ups: ups}, 8192)
+	got, wgs, _, closed := sh.collect(ingestMsg{ups: ups}, 8192)
 	if closed || len(wgs) != 1 {
 		t.Fatalf("unexpected collect result: closed=%v wgs=%d", closed, len(wgs))
 	}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/fivm"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+func testBatchID(seq uint64) wal.BatchID {
+	id := wal.BatchID{Seq: seq}
+	copy(id.Origin[:], "dedup-test-origin")
+	return id
+}
+
+func waitClosed(t *testing.T, done <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s not applied within 5s", what)
+	}
+}
+
+// TestIngestBatchDedupsReplay replays an already-applied batch ID and
+// requires the replay to be the identity: done closes with nothing
+// re-applied, every update reported deduped, the ingested counter and
+// the model unchanged.
+func TestIngestBatchDedupsReplay(t *testing.T) {
+	eng, err := fivm.Open(walEngineConfigs()["count"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A multi-relation batch: dedup granularity is (ID, relation), so
+	// the replay must suppress both groups.
+	ups := append(walSSeeds(), walRUpdate(1), walRUpdate(2))
+	id := testBatchID(1)
+	done, deduped, err := srv.IngestBatch(id, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped != 0 {
+		t.Fatalf("fresh batch reported %d deduped updates", deduped)
+	}
+	waitClosed(t, done, "fresh batch")
+	ingested := srv.Stats().Ingested
+	model := modelJSON(t, eng)
+
+	done2, deduped2, err := srv.IngestBatch(id, ups)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if deduped2 != len(ups) {
+		t.Errorf("replay deduped %d of %d updates", deduped2, len(ups))
+	}
+	waitClosed(t, done2, "replayed batch")
+	if got := srv.Stats().Ingested; got != ingested {
+		t.Errorf("ingested counter moved on replay: %d -> %d", ingested, got)
+	}
+	if got := modelJSON(t, eng); got != model {
+		t.Errorf("model changed on replay:\n got %s\nwas %s", got, model)
+	}
+	if st := srv.DedupStatus(); st.Hits != uint64(len(ups)) {
+		t.Errorf("dedup hits = %d, want %d", st.Hits, len(ups))
+	}
+
+	// A fresh ID with the same content is NOT a duplicate.
+	done3, deduped3, err := srv.IngestBatch(testBatchID(2), ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped3 != 0 {
+		t.Errorf("distinct ID deduped %d updates", deduped3)
+	}
+	waitClosed(t, done3, "distinct-ID batch")
+	if got := modelJSON(t, eng); got == model {
+		t.Error("distinct ID applied nothing (model unchanged)")
+	}
+}
+
+// TestDedupSurvivesKillRecovery crashes a durable server after one
+// acknowledged identified batch (no final checkpoint — the WAL is
+// closed out from under it, what SIGKILL leaves behind) and requires
+// the recovered server to still recognize the batch ID: the retry a
+// client sends after the crash must dedup, not double-apply.
+func TestDedupSurvivesKillRecovery(t *testing.T) {
+	cfg := walEngineConfigs()["count"]
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Config{Dir: dir, Fsync: wal.PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{WAL: w, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := append(walSSeeds(), walRUpdate(1))
+	id := testBatchID(9)
+	done, _, err := srv.IngestBatch(id, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(t, done, "identified batch")
+	// Crash: the WAL closes first, so Close cannot write the final
+	// checkpoint — the log (with the batch-ID trailer) is all that
+	// survives, exactly like a kill.
+	w.Close()
+	_ = srv.Close()
+
+	w2, err := wal.Open(wal.Config{Dir: dir, Fsync: wal.PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(eng2, w2); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(eng2, Config{WAL: w2, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	model := modelJSON(t, eng2)
+	done2, deduped, err := srv2.IngestBatch(id, ups)
+	if err != nil {
+		t.Fatalf("post-recovery replay: %v", err)
+	}
+	if deduped != len(ups) {
+		t.Errorf("post-recovery replay deduped %d of %d updates", deduped, len(ups))
+	}
+	waitClosed(t, done2, "post-recovery replay")
+	if got := modelJSON(t, eng2); got != model {
+		t.Errorf("recovered model changed on replayed batch ID:\n got %s\nwas %s", got, model)
+	}
+
+	// The count aggregate confirms nothing was applied twice: it must
+	// equal a clean engine fed the stream once.
+	clean, err := fivm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once []view.Update
+	once = append(once, ups...)
+	if err := clean.Apply(once); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := modelJSON(t, eng2), modelJSON(t, clean); got != want {
+		t.Errorf("recovered+replayed model diverges from exactly-once application:\n got %s\nwant %s", got, want)
+	}
+}

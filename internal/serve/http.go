@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/value"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // The v1 wire protocol (see docs/API.md for full schemas):
@@ -181,7 +182,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	done, err := s.Ingest(ups)
+	// An X-Fivm-Batch-Id header makes the request idempotent: a
+	// redelivery of the same ID (with the identical body — see
+	// IngestBatch) is answered from the dedup table, not applied again.
+	var id wal.BatchID
+	if h := r.Header.Get(BatchIDHeader); h != "" {
+		if id, err = wal.ParseBatchID(h); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+	}
+	done, deduped, err := s.IngestBatch(id, ups)
 	if err != nil {
 		var oe *OverloadError
 		switch {
@@ -206,7 +217,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(ups), "applied": applied})
+	ack := map[string]any{"accepted": len(ups), "applied": applied}
+	if deduped > 0 {
+		// Routers subtract deduped from what they count as newly acked,
+		// keeping per-shard acked counters equal to applied ones even
+		// when a retry races a delivery that actually succeeded.
+		ack["deduped"] = deduped
+	}
+	writeJSON(w, http.StatusAccepted, ack)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -271,6 +289,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"view_delta_tuples":    st.View.DeltaTuples,
 		"shards":               s.Shards(),
 		"wal":                  s.WALStatus(),
+		"dedup":                s.DedupStatus(),
 	})
 }
 

@@ -63,6 +63,14 @@ func newPipelineMetrics(s *Server) *pipelineMetrics {
 	reg.CounterFunc("fivm_ingest_shed_updates_total", "",
 		"Tuple updates rejected by admission control (ingest queue at or above the high-watermark).", s.shed.Load)
 
+	// Idempotency: the dedup table behind exactly-once ingest.
+	reg.CounterFunc("fivm_dedup_hits_total", "",
+		"Updates of replayed batch IDs answered from the dedup table instead of re-applied.",
+		s.dedup.hits.Load)
+	reg.GaugeFunc("fivm_dedup_entries", "",
+		"Live entries in the idempotency dedup table.",
+		func() float64 { return float64(s.dedup.size()) })
+
 	// Per-shard ingest queues: depth and capacity, read at scrape time.
 	names := make([]string, 0, len(s.shards))
 	for rel := range s.shards {

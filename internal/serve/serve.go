@@ -109,6 +109,12 @@ type Config struct {
 	// (see Recover). The Server appends to and checkpoints the WAL but
 	// does not close it — the opener does, after Close returns.
 	WAL *wal.WAL
+	// DedupCap bounds the idempotency dedup table: how many recently
+	// seen (batch ID, relation) groups IngestBatch remembers for
+	// duplicate suppression (default 8192). The bound is the retry
+	// window — a duplicate older than the newest DedupCap groups
+	// re-applies.
+	DedupCap int
 	// CheckpointInterval is how often the pipeline writes an incremental
 	// checkpoint when a WAL is configured (default 1m; negative disables
 	// the periodic loop — Close still writes a final checkpoint).
@@ -138,6 +144,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("serve: MaxBatchesPerPublish %d is negative (0 selects the default)", c.MaxBatchesPerPublish)
 	case c.HighWatermark < 0:
 		return c, fmt.Errorf("serve: HighWatermark %d is negative (0 selects ChannelCap)", c.HighWatermark)
+	case c.DedupCap < 0:
+		return c, fmt.Errorf("serve: DedupCap %d is negative (0 selects the default)", c.DedupCap)
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 8192
@@ -150,6 +158,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HighWatermark == 0 {
 		c.HighWatermark = c.ChannelCap
+	}
+	if c.DedupCap == 0 {
+		c.DedupCap = 8192
 	}
 	if c.HighWatermark > c.ChannelCap {
 		return c, fmt.Errorf("serve: HighWatermark %d exceeds ChannelCap %d — queues can never reach it, so shedding would silently never trigger", c.HighWatermark, c.ChannelCap)
@@ -215,6 +226,7 @@ type Server struct {
 	ingested atomic.Uint64
 	shed     atomic.Uint64
 	met      *pipelineMetrics
+	dedup    *dedupTable
 
 	// crashed closes (once, after crashErr is set) when a WAL append
 	// failure poisons the pipeline; every blocking channel operation
@@ -259,12 +271,19 @@ type shard struct {
 	// wal is the shard's append handle when durability is configured
 	// (nil otherwise). Only the shard's batcher goroutine appends.
 	wal *wal.Shard
+	// refbuf is the batcher's reusable per-flush batch-ref slice,
+	// collected alongside buf; AppendRefs encodes without retaining it.
+	refbuf []wal.BatchRef
 }
 
 type ingestMsg struct {
 	ups []view.Update
 	wg  *sync.WaitGroup
 	at  time.Time // Ingest enqueue time, for batcher-wait latency
+	// ref names the identified client batch these updates belong to
+	// (zero ID for unidentified traffic). The batcher records it inside
+	// the WAL record so dedup survives recovery.
+	ref wal.BatchRef
 }
 
 // batch carries a prebuilt delta to the writer together with its trace
@@ -307,6 +326,7 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 		crashed:    make(chan struct{}),
 		viewTree:   eng.ViewTree(),
 	}
+	s.dedup = newDedupTable(cfg.DedupCap)
 	for _, rel := range eng.RelationNames() {
 		arity, _ := eng.Arity(rel)
 		s.shards[rel] = &shard{rel: rel, arity: arity, ch: make(chan ingestMsg, cfg.ChannelCap)}
@@ -326,6 +346,10 @@ func New(eng Maintainable, cfg Config) (*Server, error) {
 			}
 			sh.wal = ws
 		}
+		// Batch IDs found in the replayed log become completed dedup
+		// entries: a router retrying a batch the crashed process already
+		// logged is answered, not double-applied.
+		s.dedup.seedRecovered(cfg.WAL.RecoveredBatchRefs())
 	}
 	s.met = newPipelineMetrics(s) // before publish: publish records its span
 	s.publish()                   // version 1: the initial state, before any goroutine runs
@@ -358,25 +382,9 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 		close(done)
 		return done, nil
 	}
-	// Group by relation, preserving per-relation order, validating
-	// every update (relation known, tuple arity matches the schema)
-	// before anything is enqueued — a bad update must not reach the
-	// pipeline goroutines, where it would panic the whole server.
-	order := make([]string, 0, 4)
-	groups := make(map[string][]view.Update, 4)
-	for i, u := range ups {
-		sh, known := s.shards[u.Rel]
-		if !known {
-			return nil, fmt.Errorf("serve: unknown relation %s", u.Rel)
-		}
-		if len(u.Tuple) != sh.arity {
-			return nil, fmt.Errorf("serve: updates[%d]: relation %s wants %d attributes, tuple has %d", i, u.Rel, sh.arity, len(u.Tuple))
-		}
-		g, ok := groups[u.Rel]
-		if !ok {
-			order = append(order, u.Rel)
-		}
-		groups[u.Rel] = append(g, u)
+	order, groups, err := s.groupUpdates(ups)
+	if err != nil {
+		return nil, err
 	}
 
 	s.mu.RLock()
@@ -426,6 +434,30 @@ func (s *Server) Ingest(ups []view.Update) (<-chan struct{}, error) {
 		close(done)
 	}()
 	return done, nil
+}
+
+// groupUpdates groups ups by relation, preserving per-relation order
+// and validating every update (relation known, tuple arity matches the
+// schema) before anything is enqueued — a bad update must not reach the
+// pipeline goroutines, where it would panic the whole server.
+func (s *Server) groupUpdates(ups []view.Update) (order []string, groups map[string][]view.Update, err error) {
+	order = make([]string, 0, 4)
+	groups = make(map[string][]view.Update, 4)
+	for i, u := range ups {
+		sh, known := s.shards[u.Rel]
+		if !known {
+			return nil, nil, fmt.Errorf("serve: unknown relation %s", u.Rel)
+		}
+		if len(u.Tuple) != sh.arity {
+			return nil, nil, fmt.Errorf("serve: updates[%d]: relation %s wants %d attributes, tuple has %d", i, u.Rel, sh.arity, len(u.Tuple))
+		}
+		g, ok := groups[u.Rel]
+		if !ok {
+			order = append(order, u.Rel)
+		}
+		groups[u.Rel] = append(g, u)
+	}
+	return order, groups, nil
 }
 
 // Sync runs fn on the writer goroutine with exclusive access to the

@@ -1,0 +1,84 @@
+package wal
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BatchID identifies one client write batch for idempotent redelivery:
+// a random 128-bit origin (one per client instance) plus that origin's
+// monotonically increasing batch sequence number. The pair is globally
+// unique without coordination, so any number of clients and routers can
+// stamp batches concurrently.
+//
+// IDs ride the X-Fivm-Batch-Id header on POST /v1/update, are recorded
+// inside the WAL record of every batch they cover, and key the serving
+// layer's dedup table — which is how a retried delivery of an already
+// applied batch returns the original acknowledgement instead of
+// double-applying (ring deltas are not idempotent on their own: adding
+// the same delta twice doubles it).
+type BatchID struct {
+	// Origin is the stamping client's random 128-bit identity.
+	Origin [16]byte
+	// Seq is the batch's sequence number within the origin (starts at 1;
+	// 0 never appears on the wire).
+	Seq uint64
+}
+
+// IsZero reports whether the ID is the zero value (no ID stamped).
+func (id BatchID) IsZero() bool { return id == BatchID{} }
+
+// String renders the wire form: 32 lowercase hex characters for the
+// origin, a dash, and the decimal sequence number.
+func (id BatchID) String() string {
+	return hex.EncodeToString(id.Origin[:]) + "-" + strconv.FormatUint(id.Seq, 10)
+}
+
+// ParseBatchID parses the wire form produced by String. The empty
+// string is not an ID; callers should skip parsing when the header is
+// absent.
+func ParseBatchID(s string) (BatchID, error) {
+	var id BatchID
+	dash := strings.IndexByte(s, '-')
+	if dash != 32 || len(s) < 34 {
+		return id, fmt.Errorf("wal: batch ID %q is not <32 hex>-<seq>", s)
+	}
+	if _, err := hex.Decode(id.Origin[:], []byte(s[:dash])); err != nil {
+		return id, fmt.Errorf("wal: batch ID %q: bad origin: %v", s, err)
+	}
+	seq, err := strconv.ParseUint(s[dash+1:], 10, 64)
+	if err != nil || seq == 0 {
+		return id, fmt.Errorf("wal: batch ID %q: bad sequence", s)
+	}
+	id.Seq = seq
+	return id, nil
+}
+
+// BatchRef names one identified client batch inside a WAL record: the
+// ID and how many of the record's updates belong to it. A record may
+// carry several refs (the batcher coalesces messages from concurrent
+// callers into one flush) and updates with no ID at all (legacy or
+// fire-and-forget writers), so the refs' update counts need not sum to
+// the record's update count.
+type BatchRef struct {
+	ID BatchID
+	// Updates is the number of the batch's updates this record carries
+	// for its relation — the per-relation dedup entry's accepted count.
+	Updates int
+}
+
+// RecoveredRef is a BatchRef recovered by Replay, tagged with the shard
+// relation whose record carried it. The serving layer seeds its dedup
+// table from these so idempotency survives crash and restart.
+type RecoveredRef struct {
+	Rel string
+	BatchRef
+}
+
+// maxRecoveredRefs bounds how many replayed refs the WAL retains for
+// dedup seeding — the same order of magnitude as the serving layer's
+// own dedup capacity. Older refs are dropped first: they correspond to
+// the oldest batches, whose retry windows have long expired.
+const maxRecoveredRefs = 1 << 16

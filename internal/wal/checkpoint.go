@@ -76,6 +76,10 @@ func (s *sectionReadCloser) Close() error { return s.f.Close() }
 // newest segment) and checkpoints beyond KeepCheckpoints are removed.
 func (w *WAL) WriteCheckpoint(pos Positions, writeSnap func(io.Writer) error) error {
 	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: checkpoint refused: WAL is closed")
+	}
 	seq := w.cpSeq + 1
 	w.mu.Unlock()
 	path := filepath.Join(w.cfg.Dir, fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptExt))

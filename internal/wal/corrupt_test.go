@@ -271,7 +271,7 @@ func appendRawRecord(t *testing.T, path string, seq uint64, ups []view.Update) {
 	t.Helper()
 	var kbuf []byte
 	buf := make([]byte, recordHeaderLen)
-	buf = appendBatchPayload(buf, seq, ups, &kbuf)
+	buf = appendBatchPayload(buf, seq, ups, nil, &kbuf)
 	payload := buf[recordHeaderLen:]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))

@@ -24,10 +24,17 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // appendBatchPayload appends the batch payload (seq, update count, then
-// per update: length-prefixed tuple key and zigzag multiplicity) to
-// buf. kbuf is the caller's reusable tuple-encode scratch; both buffers
-// grow to a steady state, so hot-path appends allocate nothing.
-func appendBatchPayload(buf []byte, seq uint64, ups []view.Update, kbuf *[]byte) []byte {
+// per update: length-prefixed tuple key and zigzag multiplicity, then
+// an optional batch-ref trailer) to buf. kbuf is the caller's reusable
+// tuple-encode scratch; both buffers grow to a steady state, so
+// hot-path appends allocate nothing.
+//
+// The trailer — uvarint ref count, then per ref the raw 16-byte origin,
+// uvarint sequence, and uvarint update count — sits after the updates,
+// where decoders that predate it never look (they read exactly count
+// updates and stop), so old and new records interoperate both ways: an
+// absent trailer decodes as zero refs.
+func appendBatchPayload(buf []byte, seq uint64, ups []view.Update, refs []BatchRef, kbuf *[]byte) []byte {
 	buf = binary.AppendUvarint(buf, seq)
 	buf = binary.AppendUvarint(buf, uint64(len(ups)))
 	for i := range ups {
@@ -37,46 +44,87 @@ func appendBatchPayload(buf []byte, seq uint64, ups []view.Update, kbuf *[]byte)
 		buf = append(buf, k...)
 		buf = binary.AppendVarint(buf, int64(ups[i].Mult))
 	}
+	if len(refs) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(refs)))
+		for i := range refs {
+			buf = append(buf, refs[i].ID.Origin[:]...)
+			buf = binary.AppendUvarint(buf, refs[i].ID.Seq)
+			buf = binary.AppendUvarint(buf, uint64(refs[i].Updates))
+		}
+	}
 	return buf
 }
 
 // decodeBatchPayload parses a CRC-validated payload back into updates
-// for rel. Errors indicate a framing-valid but undecodable payload —
-// recovery treats them like corruption and stops.
-func decodeBatchPayload(p []byte, rel string) (seq uint64, ups []view.Update, err error) {
+// and batch refs for rel. Errors indicate a framing-valid but
+// undecodable payload — recovery treats them like corruption and stops.
+func decodeBatchPayload(p []byte, rel string) (seq uint64, ups []view.Update, refs []BatchRef, err error) {
 	seq, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("wal: truncated batch sequence number")
+		return 0, nil, nil, fmt.Errorf("wal: truncated batch sequence number")
 	}
 	p = p[n:]
 	count, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("wal: truncated batch update count")
+		return 0, nil, nil, fmt.Errorf("wal: truncated batch update count")
 	}
 	p = p[n:]
 	if count > uint64(len(p)) { // every update takes >= 1 byte
-		return 0, nil, fmt.Errorf("wal: batch claims %d updates in %d payload bytes", count, len(p))
+		return 0, nil, nil, fmt.Errorf("wal: batch claims %d updates in %d payload bytes", count, len(p))
 	}
 	ups = make([]view.Update, 0, count)
 	for i := uint64(0); i < count; i++ {
 		klen, n := binary.Uvarint(p)
 		if n <= 0 || klen > uint64(len(p)-n) {
-			return 0, nil, fmt.Errorf("wal: truncated tuple key in batch %d", seq)
+			return 0, nil, nil, fmt.Errorf("wal: truncated tuple key in batch %d", seq)
 		}
 		p = p[n:]
 		tp, err := value.DecodeTuple(string(p[:klen]))
 		if err != nil {
-			return 0, nil, fmt.Errorf("wal: batch %d: %w", seq, err)
+			return 0, nil, nil, fmt.Errorf("wal: batch %d: %w", seq, err)
 		}
 		p = p[klen:]
 		mult, n := binary.Varint(p)
 		if n <= 0 {
-			return 0, nil, fmt.Errorf("wal: truncated multiplicity in batch %d", seq)
+			return 0, nil, nil, fmt.Errorf("wal: truncated multiplicity in batch %d", seq)
 		}
 		p = p[n:]
 		ups = append(ups, view.Update{Rel: rel, Tuple: tp, Mult: int(mult)})
 	}
-	return seq, ups, nil
+	// Pre-trailer records end exactly here; zero refs is their meaning.
+	if len(p) == 0 {
+		return seq, ups, nil, nil
+	}
+	nRefs, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, nil, fmt.Errorf("wal: truncated batch-ref count in batch %d", seq)
+	}
+	p = p[n:]
+	if nRefs > uint64(len(p)/17+1) { // every ref takes >= 16+1+1 bytes
+		return 0, nil, nil, fmt.Errorf("wal: batch %d claims %d refs in %d trailer bytes", seq, nRefs, len(p))
+	}
+	refs = make([]BatchRef, 0, nRefs)
+	for i := uint64(0); i < nRefs; i++ {
+		var ref BatchRef
+		if len(p) < 16 {
+			return 0, nil, nil, fmt.Errorf("wal: truncated batch-ref origin in batch %d", seq)
+		}
+		copy(ref.ID.Origin[:], p[:16])
+		p = p[16:]
+		ref.ID.Seq, n = binary.Uvarint(p)
+		if n <= 0 {
+			return 0, nil, nil, fmt.Errorf("wal: truncated batch-ref sequence in batch %d", seq)
+		}
+		p = p[n:]
+		u, n := binary.Uvarint(p)
+		if n <= 0 || u > count {
+			return 0, nil, nil, fmt.Errorf("wal: bad batch-ref update count in batch %d", seq)
+		}
+		p = p[n:]
+		ref.Updates = int(u)
+		refs = append(refs, ref)
+	}
+	return seq, ups, refs, nil
 }
 
 // segmentReader iterates a segment file's records. Any framing,

@@ -59,13 +59,23 @@ type Shard struct {
 // a per-shard buffer reused across calls and handed to the file in one
 // Write.
 func (s *Shard) Append(ups []view.Update) (uint64, error) {
+	return s.AppendRefs(ups, nil)
+}
+
+// AppendRefs is Append with the batch IDs the record carries: each ref
+// names one identified client batch whose updates are (contiguously)
+// part of ups. The refs ride a trailer inside the same record, so the
+// dedup fact "this batch is applied" becomes durable atomically with
+// the batch itself — there is no window where one is on disk without
+// the other.
+func (s *Shard) AppendRefs(ups []view.Update, refs []BatchRef) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return 0, s.err
 	}
 	seq := s.nextSeq
-	buf := appendBatchPayload(s.buf[:recordHeaderLen], seq, ups, &s.kbuf)
+	buf := appendBatchPayload(s.buf[:recordHeaderLen], seq, ups, refs, &s.kbuf)
 	s.buf = buf
 	payload := buf[recordHeaderLen:]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
@@ -314,7 +324,7 @@ func scanSegment(path, rel string, wantSeq uint64) (validEnd int64, lastSeq uint
 		if !ok {
 			return r.off, lastSeq, r.failure, nil
 		}
-		seq, _, derr := decodeBatchPayload(payload, rel)
+		seq, _, _, derr := decodeBatchPayload(payload, rel)
 		if derr != nil {
 			return off, lastSeq, derr.Error(), nil
 		}
@@ -397,7 +407,7 @@ func (w *WAL) replayShard(rel string, from uint64, apply func(string, uint64, []
 			if !ok {
 				break
 			}
-			seq, ups, derr := decodeBatchPayload(payload, rel)
+			seq, ups, refs, derr := decodeBatchPayload(payload, rel)
 			if derr != nil {
 				r.close()
 				return batches, updates, nil
@@ -415,6 +425,14 @@ func (w *WAL) replayShard(rel string, from uint64, apply func(string, uint64, []
 			w.recovered.Shards[rel] = seq
 			w.recovered.Applied += uint64(len(ups))
 			w.recovered.Batches++
+			for _, ref := range refs {
+				w.recoveredRefs = append(w.recoveredRefs, RecoveredRef{Rel: rel, BatchRef: ref})
+			}
+			if len(w.recoveredRefs) > maxRecoveredRefs {
+				// Keep the newest half: old refs belong to long-acked
+				// batches whose retry window has expired.
+				w.recoveredRefs = append(w.recoveredRefs[:0], w.recoveredRefs[len(w.recoveredRefs)-maxRecoveredRefs/2:]...)
+			}
 			w.mu.Unlock()
 		}
 		failed := r.failure != ""

@@ -126,11 +126,16 @@ type WAL struct {
 
 	mu     sync.Mutex
 	shards map[string]*Shard
+	closed bool
 	cp     *CheckpointInfo
 	cpSeq  uint64 // highest checkpoint file seq ever seen (valid or not)
 	// recovered tracks what checkpoint restore + replay have covered so
 	// far; the serving writer seeds its positions from it.
 	recovered Positions
+	// recoveredRefs collects the batch refs Replay decoded (bounded to
+	// maxRecoveredRefs, oldest dropped); the serving layer seeds its
+	// dedup table from them.
+	recoveredRefs []RecoveredRef
 
 	appendedBatches atomic.Uint64
 	appendedBytes   atomic.Uint64
@@ -242,6 +247,20 @@ func (w *WAL) RecoveredPositions() Positions {
 	return w.recovered.clone()
 }
 
+// RecoveredBatchRefs returns the batch IDs Replay found recorded in
+// the replayed log, in replay order (per shard, ascending sequence) —
+// the seed for the serving layer's idempotency dedup table. Refs in
+// batches a checkpoint already pruned are gone; that is the recovery
+// dedup window's lower bound, and routers must not retry a batch older
+// than the checkpoint cadence.
+func (w *WAL) RecoveredBatchRefs() []RecoveredRef {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]RecoveredRef, len(w.recoveredRefs))
+	copy(out, w.recoveredRefs)
+	return out
+}
+
 // SetFsyncObserver installs a callback receiving each fsync's latency
 // in seconds. Install it before appends start; it is read without
 // synchronization on the append path.
@@ -306,9 +325,15 @@ func (w *WAL) fsyncLoop() {
 }
 
 // Close stops the background fsync loop, syncs every dirty shard
-// (unless PolicyOff), and closes the segment files. The WAL must not be
-// appended to afterwards.
+// (unless PolicyOff), and closes the segment files. The WAL refuses
+// all writes afterwards: appends fail through the closed files, and
+// WriteCheckpoint fails explicitly — a checkpoint written after the
+// log is closed could cover batches whose segments can no longer be
+// read back, silently discarding the dedup trailers recovery needs.
 func (w *WAL) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
 	if w.stop != nil {
 		close(w.stop)
 		w.stopped.Wait()
